@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper table/figure at the scale given by
+the ``REPRO_SCALE`` environment variable (default ``tiny`` so the full
+suite finishes in minutes on CPU; use ``small`` for a faithful run).
+Rendered tables are printed so the run log doubles as the reproduction
+report (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

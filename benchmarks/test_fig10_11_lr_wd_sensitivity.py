@@ -1,0 +1,28 @@
+"""Figures 10/11 — sensitivity to alpha's learning rate and weight decay.
+
+Paper shape: AutoAC is robust to both hyperparameters across the swept
+ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure10_11(benchmark, scale):
+    result = run_once(benchmark, figures.figure10_11, scale=scale,
+                      datasets=("imdb",),
+                      lr_values=(3e-3, 5e-3, 7e-3),
+                      wd_values=(5e-6, 2e-5, 4e-3))
+    print()
+    print(reporting.render_figure10_11(result))
+
+    for series in (result["lr_series"], result["wd_series"]):
+        for ds_name, sweep in series.items():
+            values = np.array(list(sweep.values()))
+            assert values.max() - values.min() < 0.25, (
+                f"AutoAC should be robust on {ds_name}: {sweep}")

@@ -1,0 +1,25 @@
+"""Figure 3 — clustering-method ablation (w/o cluster, EM, EM+warmup, AutoAC).
+
+Paper shape: the modularity-based joint clustering is the best of the four
+on every dataset; searching without clustering is the weakest/noisiest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure3(benchmark, scale):
+    result = run_once(benchmark, figures.figure3, scale=scale,
+                      datasets=("imdb",), backbones=("simple_hgn",))
+    print()
+    print(reporting.render_figure3(result))
+
+    for backbone, per_ds in result["series"].items():
+        for ds_name, per_method in per_ds.items():
+            best = max(per_method, key=per_method.get)
+            assert per_method["modularity"] >= per_method[best] - 0.08, (
+                f"modularity clustering should be competitive on "
+                f"{backbone}/{ds_name}: {per_method}")

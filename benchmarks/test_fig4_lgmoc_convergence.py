@@ -1,0 +1,27 @@
+"""Figure 4 — convergence of the unsupervised clustering loss L_GmoC.
+
+Paper shape: a stable decreasing trend on every dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure4(benchmark, scale):
+    result = run_once(benchmark, figures.figure4, scale=scale)
+    print()
+    print(reporting.render_figure4(result))
+
+    for ds_name, trace in result["traces"].items():
+        arr = np.asarray(trace)
+        assert arr.size >= 10, f"search on {ds_name} ended too early"
+        head = arr[: max(arr.size // 5, 1)].mean()
+        tail = arr[-max(arr.size // 5, 1):].mean()
+        assert tail <= head + 1e-6, (
+            f"L_GmoC should trend downward on {ds_name}: "
+            f"head={head:.4f} tail={tail:.4f}")

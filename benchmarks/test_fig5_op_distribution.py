@@ -1,0 +1,30 @@
+"""Figure 5 — distribution of searched completion operations.
+
+Paper shape: distributions differ across datasets and backbones (DBLP
+leans GCN_AC under SimpleHGN, ACM leans PPNP_AC, IMDB leans GCN_AC);
+no degenerate all-one-op collapse across the board.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure5(benchmark, scale):
+    result = run_once(benchmark, figures.figure5, scale=scale,
+                      backbones=("simple_hgn",))
+    print()
+    print(reporting.render_figure5(result))
+
+    for backbone, per_ds in result["distributions"].items():
+        for ds_name, dist in per_ds.items():
+            assert abs(sum(dist.values()) - 1.0) < 1e-9
+        # the searched distribution is dataset-dependent: at least two
+        # datasets must disagree on their dominant op OR on its share
+        dominants = {ds: max(d, key=d.get) for ds, d in per_ds.items()}
+        shares = {ds: max(d.values()) for ds, d in per_ds.items()}
+        assert len(set(dominants.values())) > 1 or \
+            max(shares.values()) - min(shares.values()) > 0.05, (
+                f"op distributions should differ across datasets: {per_ds}")

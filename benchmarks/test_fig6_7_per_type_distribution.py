@@ -1,0 +1,29 @@
+"""Figures 6/7 — per-node-type distribution of searched operations.
+
+Paper shape: even within one node type, multiple operations are selected
+(the core "fine-grained completion" claim).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure6_7(benchmark, scale):
+    result = run_once(benchmark, figures.figure6_7, scale=scale)
+    print()
+    print(reporting.render_figure6_7(result))
+
+    multi_op_types = 0
+    total_types = 0
+    for ds_name, per_type in result["per_type"].items():
+        for type_name, dist in per_type.items():
+            total_types += 1
+            used = sum(1 for fraction in dist.values() if fraction > 0.0)
+            if used >= 2:
+                multi_op_types += 1
+    assert total_types > 0
+    assert multi_op_types >= total_types // 2, (
+        "fine-grained completion: most node types should mix several ops")

@@ -1,0 +1,27 @@
+"""Figure 9 — sensitivity to the clustering-loss coefficient lambda.
+
+Paper shape: IMDB is very robust to lambda; performance varies only mildly
+in [0.1, 0.5].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figures, reporting
+
+from conftest import run_once
+
+
+def test_figure9(benchmark, scale):
+    result = run_once(benchmark, figures.figure9, scale=scale,
+                      datasets=("imdb",), backbones=("simple_hgn",),
+                      lambda_values=(0.1, 0.3, 0.5))
+    print()
+    print(reporting.render_sweep(result, "series", "lambda"))
+
+    for backbone, per_ds in result["series"].items():
+        for ds_name, sweep in per_ds.items():
+            values = np.array(list(sweep.values()))
+            assert values.max() - values.min() < 0.25, (
+                f"AutoAC should be robust to lambda on {ds_name}: {sweep}")

@@ -1,0 +1,37 @@
+"""Table I — dataset statistics.
+
+Prints the synthetic datasets' statistics in the paper's Table I layout and
+checks the schema-fidelity facts that matter to AutoAC: which type carries
+raw attributes, the target types, and the attribute missing rates (45% /
+69-73% / 77% / ~20% for DBLP / ACM / IMDB / LastFM).
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_names, dataset_statistics, get_dataset
+from repro.datasets.stats import render_table1
+
+from conftest import run_once
+
+
+def _collect(scale):
+    return [dataset_statistics(get_dataset(name, scale=scale, seed=0))
+            for name in dataset_names()]
+
+
+def test_table1(benchmark, scale):
+    stats = run_once(benchmark, _collect, scale)
+    print()
+    print(render_table1(stats))
+
+    by_name = {s.name: s for s in stats}
+    raw_types = {
+        "dblp": "paper", "acm": "paper", "imdb": "movie", "lastfm": "artist",
+    }
+    for name, expected_raw in raw_types.items():
+        per_type = {t.name: t.attribute for t in by_name[name].per_type}
+        assert per_type[expected_raw] == "Raw"
+        assert all(attr == "Missing" for t, attr in per_type.items()
+                   if t != expected_raw)
+    assert 0.70 < by_name["imdb"].attribute_missing_rate < 0.85
+    assert 0.40 < by_name["dblp"].attribute_missing_rate < 0.55

@@ -1,0 +1,32 @@
+"""Table II — node classification: AutoAC vs handcrafted heterogeneous GNNs.
+
+Paper shape to check in the printed table: SimpleHGN-AutoAC is the global
+best on every dataset; MAGNN-AutoAC beats MAGNN; attribute completion
+closes the gap between weak and strong backbones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reporting, tables
+
+from conftest import run_once
+
+
+def test_table2(benchmark, scale):
+    result = run_once(benchmark, tables.table2, scale=scale)
+    print()
+    print(reporting.render_node_clf_table(result))
+
+    rows = result["rows"]
+    # the headline claim, with slack for seed noise: single tiny-scale runs
+    # carry ~±0.1 macro-F1 (quantified in tests/test_core.py), so at tiny
+    # scale the bench asserts the majority direction rather than every cell
+    slack = 0.15 if scale == "tiny" else 0.03
+    wins = 0
+    for ds_name in result["datasets"]:
+        autoac = rows["simple_hgn-autoac"][ds_name]["macro_f1"]
+        baseline = rows["simple_hgn"][ds_name]["macro_f1"]
+        if autoac > baseline - slack:
+            wins += 1
+    assert wins >= len(result["datasets"]) - 1, (
+        "SimpleHGN-AutoAC should be competitive on (almost) every dataset")

@@ -1,0 +1,27 @@
+"""Table V — link prediction (ROC-AUC / MRR) with 10% masked target edges.
+
+Paper shape: SimpleHGN is the strongest baseline; SimpleHGN-AutoAC improves
+it further (dramatically on IMDB in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import reporting, tables
+
+from conftest import run_once
+
+
+def test_table5(benchmark, scale):
+    result = run_once(benchmark, tables.table5, scale=scale,
+                      datasets=("lastfm", "imdb"))
+    print()
+    print(reporting.render_table5(result))
+
+    rows = result["rows"]
+    for ds_name in result["datasets"]:
+        assert rows["simple_hgn"][ds_name]["roc_auc"] > 0.5, (
+            "SimpleHGN must beat random on link prediction")
+        autoac = rows["simple_hgn-autoac"][ds_name]["roc_auc"]
+        baseline = rows["simple_hgn"][ds_name]["roc_auc"]
+        assert autoac > baseline - 0.08, (
+            f"AutoAC link prediction should be competitive on {ds_name}")

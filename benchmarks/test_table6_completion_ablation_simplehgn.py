@@ -1,0 +1,34 @@
+"""Table VI — single-operation completion ablation on SimpleHGN.
+
+Paper shape: no single operation wins everywhere; random completion is
+unstable; AutoAC matches or beats the best single op per dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import reporting, tables
+
+from conftest import run_once
+
+
+def test_table6(benchmark, scale):
+    result = run_once(benchmark, tables.table6, scale=scale)
+    print()
+    print(reporting.render_node_clf_table(result))
+
+    rows = result["rows"]
+    single_keys = [f"{op}_ac" for op in tables.SINGLE_OPS if op != "random"]
+    # "track the best single op": slack covers per-cell seed noise, which
+    # dominates at tiny scale (±0.1 macro-F1, see tests/test_core.py)
+    slack = 0.12 if scale == "tiny" else 0.03
+    wins = 0
+    for ds_name in result["datasets"]:
+        best_single = max(rows[key][ds_name]["macro_f1"]
+                          for key in single_keys)
+        autoac = rows["autoac"][ds_name]["macro_f1"]
+        if autoac >= best_single - slack:
+            wins += 1
+    assert wins >= len(result["datasets"]) - 1, (
+        "AutoAC should track the best single op on (almost) every dataset")

@@ -1,0 +1,86 @@
+"""Scenario: movie-genre classification with 77% of nodes attribute-less.
+
+This is the paper's motivating workload (§I, Figure 1): IMDB movies carry
+bag-of-words attributes, while directors, actors and keywords carry none.
+The script contrasts four completion policies on a SimpleHGN backbone:
+
+  1. handcrafted one-hot (what HGB baselines do),
+  2. a single topology op for everyone (mean aggregation),
+  3. HGNN-AC's attention completion (with metapath2vec pre-learning),
+  4. AutoAC's searched per-cluster operations,
+
+and then inspects which operation the search chose for the best- and
+worst-connected actors — the paper's Leonardo DiCaprio / Leonie Benesch
+anecdote (§V-F).
+
+Run:  python examples/imdb_genre_classification.py [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import HGNNACFeatures, Metapath2VecConfig, prelearn_topology
+from repro.completion import HandcraftedFeatures, SingleOpFeatures
+from repro.core import AutoACConfig, run_autoac
+from repro.datasets import get_dataset
+from repro.models import build_model
+from repro.training import NodeClassificationTrainer, TrainConfig, set_seed
+
+
+def train(dataset, features, config):
+    model = build_model("simple_hgn", dataset)
+    return NodeClassificationTrainer(model, features, dataset, config).train()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "medium"])
+    args = parser.parse_args()
+
+    dataset = get_dataset("imdb", scale=args.scale)
+    config = TrainConfig(epochs=80, patience=20)
+    print(f"{dataset}\n")
+
+    set_seed(0)
+    handcrafted = train(dataset, HandcraftedFeatures(dataset, 64), config)
+    print(f"one-hot handcrafted : macro-F1 {handcrafted.macro_f1:.4f}")
+
+    set_seed(0)
+    mean_only = train(dataset, SingleOpFeatures(dataset, 64, "mean"), config)
+    print(f"single-op mean AC   : macro-F1 {mean_only.macro_f1:.4f}")
+
+    set_seed(0)
+    pre = prelearn_topology(dataset,
+                            Metapath2VecConfig(embed_dim=32, walks_per_node=4,
+                                               walk_length=16, epochs=2))
+    hgnnac = train(dataset, HGNNACFeatures(dataset, 64, pre.embeddings), config)
+    print(f"HGNN-AC attention   : macro-F1 {hgnnac.macro_f1:.4f} "
+          f"(+{pre.seconds:.1f}s pre-learning)")
+
+    autoac_cfg = AutoACConfig(search_epochs=60, patience=18, num_clusters=12,
+                              retrain=config)
+    result = run_autoac(dataset, "simple_hgn", autoac_cfg, seed=0)
+    print(f"AutoAC searched     : macro-F1 {result.final.macro_f1:.4f}\n")
+
+    # --- the DiCaprio / Benesch anecdote on synthetic actors -------------
+    graph = dataset.graph
+    degrees = graph.degrees()
+    actor_ids = graph.global_ids("actor")
+    missing_ids = dataset.missing_global_ids
+    position = {int(g): i for i, g in enumerate(missing_ids)}
+    ops = result.search.op_names
+    star = actor_ids[np.argmax(degrees[actor_ids])]
+    guest = actor_ids[np.argmin(degrees[actor_ids])]
+    print("fine-grained choices (paper §V-F anecdote):")
+    print(f"  busiest actor  (degree {int(degrees[star]):3d}) -> "
+          f"{ops[result.search.assignment[position[int(star)]]]}")
+    print(f"  guest actor    (degree {int(degrees[guest]):3d}) -> "
+          f"{ops[result.search.assignment[position[int(guest)]]]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Scenario: music recommendation as user-artist link prediction.
+
+LastFM's benchmark task (paper Table V): predict which artists a user will
+listen to, with 10% of the user-artist edges masked for evaluation.  Only
+artists carry raw attributes — users and tags are completed.  Compares a
+SimpleHGN encoder under handcrafted completion against AutoAC-searched
+completion, reporting ROC-AUC and MRR.
+
+Run:  python examples/lastfm_recommendation.py [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.completion import HandcraftedFeatures
+from repro.core import AutoACConfig, run_autoac_link_prediction
+from repro.datasets import get_dataset
+from repro.models import build_model
+from repro.training import (
+    LinkPredConfig,
+    LinkPredictionTask,
+    LinkPredictionTrainer,
+    set_seed,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--mask-rate", type=float, default=0.10)
+    args = parser.parse_args()
+
+    dataset = get_dataset("lastfm", scale=args.scale)
+    task = LinkPredictionTask(dataset, mask_rate=args.mask_rate, seed=0)
+    config = LinkPredConfig(epochs=60, patience=15)
+    print(f"{dataset}")
+    print(f"masked {task.split.test_pos.shape[1]} user-artist edges "
+          f"for evaluation\n")
+
+    set_seed(0)
+    features = HandcraftedFeatures(task.train_graph_dataset, 64)
+    model = build_model("simple_hgn", task.train_graph_dataset)
+    baseline = LinkPredictionTrainer(model, features, task, config).train()
+    print(f"SimpleHGN (one-hot)  : ROC-AUC {baseline.roc_auc:.4f}  "
+          f"MRR {baseline.mrr:.4f}")
+
+    autoac_cfg = AutoACConfig(search_epochs=50, patience=15, num_clusters=8)
+    result = run_autoac_link_prediction(task, "simple_hgn", autoac_cfg,
+                                        retrain_config=config, seed=0)
+    print(f"SimpleHGN-AutoAC     : ROC-AUC {result.final.roc_auc:.4f}  "
+          f"MRR {result.final.mrr:.4f}")
+    print("searched op distribution:", {
+        op: round(fraction, 3)
+        for op, fraction in result.search.op_distribution().items()
+    })
+
+
+if __name__ == "__main__":
+    main()

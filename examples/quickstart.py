@@ -1,0 +1,58 @@
+"""Quickstart: automated attribute completion in ~20 lines.
+
+Builds the synthetic IMDB dataset (movies have attributes; directors,
+actors and keywords do not), runs the AutoAC bi-level search with a
+SimpleHGN backbone, and compares against the handcrafted one-hot
+completion every HGB baseline uses.
+
+Run:  python examples/quickstart.py  [--scale tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.completion import HandcraftedFeatures
+from repro.core import AutoACConfig, run_autoac
+from repro.datasets import get_dataset
+from repro.models import build_model
+from repro.training import NodeClassificationTrainer, TrainConfig, set_seed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--model", default="simple_hgn")
+    args = parser.parse_args()
+
+    dataset = get_dataset("imdb", scale=args.scale)
+    print(f"dataset: {dataset}")
+    print(f"missing attribute types: {dataset.missing_types} "
+          f"({dataset.attribute_missing_rate:.0%} of all nodes)\n")
+
+    # --- baseline: handcrafted one-hot completion (the HGB default) -----
+    set_seed(0)
+    features = HandcraftedFeatures(dataset, hidden_dim=64)
+    model = build_model(args.model, dataset)
+    baseline = NodeClassificationTrainer(
+        model, features, dataset, TrainConfig(epochs=80, patience=20)).train()
+    print(f"{args.model} + handcrafted one-hot: "
+          f"macro-F1 {baseline.macro_f1:.4f}  micro-F1 {baseline.micro_f1:.4f}")
+
+    # --- AutoAC: search the completion op for every no-attribute node ---
+    config = AutoACConfig(search_epochs=80, patience=20, num_clusters=12,
+                          retrain=TrainConfig(epochs=80, patience=20))
+    result = run_autoac(dataset, args.model, config, seed=0)
+    print(f"{args.model} + AutoAC:              "
+          f"macro-F1 {result.final.macro_f1:.4f}  "
+          f"micro-F1 {result.final.micro_f1:.4f}")
+    print(f"search took {result.search.search_seconds:.1f}s over "
+          f"{result.search.epochs_run} epochs")
+    print("searched completion-op distribution:")
+    for op, fraction in result.search.op_distribution().items():
+        print(f"  {op:>8s}: {fraction:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

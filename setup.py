@@ -1,0 +1,8 @@
+"""Setup shim: lets ``python setup.py develop`` work in offline environments
+where the ``wheel`` package (needed by PEP 517 editable installs) is absent.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

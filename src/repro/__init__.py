@@ -1,0 +1,52 @@
+"""repro — a from-scratch reproduction of AutoAC (ICDE 2023).
+
+AutoAC: Towards Automated Attribute Completion for Heterogeneous Graph
+Neural Network.  The package builds every layer of the system in pure
+numpy/scipy:
+
+* :mod:`repro.tensor`      — reverse-mode autodiff engine (replaces PyTorch)
+* :mod:`repro.graph`       — heterogeneous graph container (replaces DGL)
+* :mod:`repro.datasets`    — schema-faithful synthetic HGB datasets
+* :mod:`repro.completion`  — the completion-operation search space
+* :mod:`repro.models`      — GNN zoo (SimpleHGN, MAGNN, HAN, HGT, ...)
+* :mod:`repro.training`    — node-classification / link-prediction harness
+* :mod:`repro.core`        — the AutoAC bi-level proximal search
+* :mod:`repro.baselines`   — HGNN-AC + metapath2vec, single-op completion
+* :mod:`repro.experiments` — drivers for every paper table and figure
+
+Quickstart::
+
+    from repro.datasets import get_dataset
+    from repro.core import run_autoac
+
+    dataset = get_dataset("imdb", scale="small")
+    result = run_autoac(dataset, "simple_hgn")
+    print(result.final.macro_f1, result.search.op_distribution())
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    baselines,
+    completion,
+    core,
+    datasets,
+    experiments,
+    graph,
+    models,
+    tensor,
+    training,
+)
+
+__all__ = [
+    "__version__",
+    "tensor",
+    "graph",
+    "datasets",
+    "completion",
+    "models",
+    "training",
+    "core",
+    "baselines",
+    "experiments",
+]

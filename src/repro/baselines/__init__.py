@@ -1,0 +1,20 @@
+"""``repro.baselines`` — the completion baselines AutoAC is compared with.
+
+Single-op and random completion live in :mod:`repro.completion.mixture`
+(:class:`SingleOpFeatures`, :class:`FixedAssignmentFeatures`); this package
+adds HGNN-AC and its metapath2vec pre-learning.
+"""
+
+from ..completion import FixedAssignmentFeatures, SingleOpFeatures
+from .hgnnac import HGNNACFeatures, HGNNACPrelearn, prelearn_topology
+from .metapath2vec import Metapath2VecConfig, train_metapath2vec
+
+__all__ = [
+    "HGNNACFeatures",
+    "HGNNACPrelearn",
+    "prelearn_topology",
+    "Metapath2VecConfig",
+    "train_metapath2vec",
+    "SingleOpFeatures",
+    "FixedAssignmentFeatures",
+]

@@ -1,0 +1,109 @@
+"""metapath2vec (Dong et al., KDD'17) — the pre-learning stage of HGNN-AC.
+
+Metapath-guided random walks feed a skip-gram model with negative sampling
+(SGNS), trained by plain SGD over vectorized pair batches.  This stage is
+deliberately *not* optimized away: its cost dominating HGNN-AC's end-to-end
+runtime is exactly the efficiency gap the paper's Table IV reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import HeteroGraph, metapath_random_walks
+
+
+@dataclass
+class Metapath2VecConfig:
+    embed_dim: int = 32
+    walks_per_node: int = 8
+    walk_length: int = 20
+    window: int = 3
+    negatives: int = 4
+    epochs: int = 3
+    lr: float = 0.025
+    batch_size: int = 4096
+
+
+def _walk_pairs(walks: List[np.ndarray], window: int) -> np.ndarray:
+    """All (center, context) pairs within ``window`` of each other."""
+    centers, contexts = [], []
+    for walk in walks:
+        length = walk.shape[0]
+        for offset in range(1, window + 1):
+            if length <= offset:
+                continue
+            centers.append(walk[:-offset])
+            contexts.append(walk[offset:])
+            centers.append(walk[offset:])
+            contexts.append(walk[:-offset])
+    if not centers:
+        return np.empty((2, 0), dtype=np.int64)
+    return np.stack([np.concatenate(centers), np.concatenate(contexts)])
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+
+def train_metapath2vec(graph: HeteroGraph,
+                       metapaths: Sequence[Sequence[str]],
+                       config: Optional[Metapath2VecConfig] = None,
+                       seed: int = 0) -> np.ndarray:
+    """Learn topological embeddings ``(num_nodes, embed_dim)``.
+
+    Walks are generated for every cyclic metapath in ``metapaths``; nodes
+    never visited keep their random initialization.
+    """
+    config = config or Metapath2VecConfig()
+    rng = np.random.default_rng(seed)
+    walks: List[np.ndarray] = []
+    for metapath in metapaths:
+        if metapath[0] != metapath[-1]:
+            continue
+        walks.extend(metapath_random_walks(
+            graph, metapath, config.walks_per_node, config.walk_length, rng))
+    pairs = _walk_pairs(walks, config.window)
+
+    n = graph.num_nodes
+    scale = 1.0 / config.embed_dim
+    center_vecs = rng.uniform(-scale, scale, size=(n, config.embed_dim))
+    context_vecs = np.zeros((n, config.embed_dim))
+
+    if pairs.shape[1] == 0:
+        return center_vecs
+
+    # frequency-skewed negative table (unigram^0.75, word2vec convention)
+    counts = np.bincount(pairs[1], minlength=n).astype(np.float64)
+    probs = counts ** 0.75
+    probs /= probs.sum()
+
+    for _epoch in range(config.epochs):
+        order = rng.permutation(pairs.shape[1])
+        for begin in range(0, order.size, config.batch_size):
+            batch = order[begin:begin + config.batch_size]
+            centers = pairs[0, batch]
+            contexts = pairs[1, batch]
+            u = center_vecs[centers]
+            v = context_vecs[contexts]
+            # positive update
+            score = _sigmoid((u * v).sum(axis=1))
+            coef = (1.0 - score)[:, None] * config.lr
+            grad_u = coef * v
+            grad_v = coef * u
+            # negative updates (shared negatives per batch keep it vectorized)
+            negatives = rng.choice(n, size=config.negatives, p=probs)
+            for neg in negatives:
+                v_neg = context_vecs[neg]
+                neg_score = _sigmoid(u @ v_neg)
+                grad_u -= (neg_score[:, None] * config.lr) * v_neg
+                context_vecs[neg] -= config.lr * (neg_score @ u) / max(len(batch), 1)
+            np.add.at(center_vecs, centers, grad_u)
+            np.add.at(context_vecs, contexts, grad_v)
+    return center_vecs
+
+
+__all__ = ["Metapath2VecConfig", "train_metapath2vec"]

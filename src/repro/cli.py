@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``   print Table-I-style statistics of the synthetic datasets
+``search``     run the AutoAC search (+retrain) on one dataset/backbone
+``train``      train a backbone with a fixed completion policy
+``table``      regenerate one paper table (2-10)
+``figure``     regenerate one paper figure (3, 4, 5, 67, 8, 9, 1011)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_scale(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "medium", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .datasets import dataset_names, get_dataset
+    from .datasets.stats import dataset_statistics, render_table1
+
+    stats = [dataset_statistics(get_dataset(name, scale=args.scale,
+                                            seed=args.seed))
+             for name in dataset_names()]
+    print(render_table1(stats))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .core import AutoACConfig, run_autoac
+    from .core.serialize import save_search_result
+    from .datasets import get_dataset
+    from .training import TrainConfig, set_seed
+
+    dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    set_seed(args.seed)
+    config = AutoACConfig(
+        search_epochs=args.epochs,
+        patience=max(args.epochs // 4, 5),
+        num_clusters=args.clusters,
+        retrain=TrainConfig(epochs=args.epochs, patience=max(args.epochs // 4,
+                                                             5)),
+    )
+    result = run_autoac(dataset, args.model, config, seed=args.seed)
+    print(f"macro-F1 {result.final.macro_f1:.4f}  "
+          f"micro-F1 {result.final.micro_f1:.4f}")
+    print(f"search {result.search.search_seconds:.1f}s  "
+          f"retrain {result.final.train_seconds:.1f}s")
+    for op, fraction in result.search.op_distribution().items():
+        print(f"  {op:>8s}: {fraction:6.1%}")
+    if args.out:
+        save_search_result(result.search, args.out)
+        print(f"search result written to {args.out}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .completion import (
+        FixedAssignmentFeatures,
+        HandcraftedFeatures,
+        SingleOpFeatures,
+    )
+    from .core.serialize import load_search_result
+    from .datasets import get_dataset
+    from .models import build_model
+    from .training import NodeClassificationTrainer, TrainConfig, set_seed
+
+    dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    set_seed(args.seed)
+    if args.from_search:
+        search = load_search_result(args.from_search)
+        features = FixedAssignmentFeatures(dataset, 64, search.assignment)
+    elif args.completion == "one_hot_handcrafted":
+        features = HandcraftedFeatures(dataset, 64)
+    else:
+        features = SingleOpFeatures(dataset, 64, args.completion)
+    model = build_model(args.model, dataset)
+    config = TrainConfig(epochs=args.epochs,
+                         patience=max(args.epochs // 4, 5))
+    result = NodeClassificationTrainer(model, features, dataset,
+                                       config).train()
+    print(f"macro-F1 {result.macro_f1:.4f}  micro-F1 {result.micro_f1:.4f}  "
+          f"({result.train_seconds:.1f}s, {result.epochs_run} epochs)")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import reporting, tables
+
+    drivers = {
+        "2": (tables.table2, reporting.render_node_clf_table),
+        "3": (tables.table3, reporting.render_node_clf_table),
+        "4": (tables.table4, reporting.render_table4),
+        "5": (tables.table5, reporting.render_table5),
+        "6": (tables.table6, reporting.render_node_clf_table),
+        "7": (tables.table7, reporting.render_node_clf_table),
+        "8": (tables.table8, reporting.render_table8),
+        "9": (tables.table9, reporting.render_table9),
+        "10": (tables.table10, reporting.render_table10),
+    }
+    driver, renderer = drivers[args.number]
+    result = driver(scale=args.scale, seed=args.seed)
+    print(renderer(result))
+    if args.json:
+        from .experiments.reporting import to_json
+        with open(args.json, "w") as handle:
+            handle.write(to_json(result))
+        print(f"raw results written to {args.json}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .experiments import figures, reporting
+
+    if args.number == "3":
+        result = figures.figure3(scale=args.scale, seed=args.seed)
+        print(reporting.render_figure3(result))
+    elif args.number == "4":
+        result = figures.figure4(scale=args.scale, seed=args.seed)
+        print(reporting.render_figure4(result))
+    elif args.number == "5":
+        result = figures.figure5(scale=args.scale, seed=args.seed)
+        print(reporting.render_figure5(result))
+    elif args.number == "67":
+        result = figures.figure6_7(scale=args.scale, seed=args.seed)
+        print(reporting.render_figure6_7(result))
+    elif args.number == "8":
+        result = figures.figure8(scale=args.scale, seed=args.seed)
+        print(reporting.render_sweep(result, "series", "M"))
+    elif args.number == "9":
+        result = figures.figure9(scale=args.scale, seed=args.seed)
+        print(reporting.render_sweep(result, "series", "lambda"))
+    else:  # "1011"
+        result = figures.figure10_11(scale=args.scale, seed=args.seed)
+        print(reporting.render_figure10_11(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AutoAC reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="dataset statistics (Table I)")
+    _add_scale(p_datasets)
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_search = sub.add_parser("search", help="run the AutoAC search")
+    _add_scale(p_search)
+    p_search.add_argument("--dataset", default="imdb")
+    p_search.add_argument("--model", default="simple_hgn")
+    p_search.add_argument("--epochs", type=int, default=60)
+    p_search.add_argument("--clusters", type=int, default=8)
+    p_search.add_argument("--out", default=None,
+                          help="write the search result to this .npz file")
+    p_search.set_defaults(func=_cmd_search)
+
+    p_train = sub.add_parser("train", help="train with a fixed completion")
+    _add_scale(p_train)
+    p_train.add_argument("--dataset", default="imdb")
+    p_train.add_argument("--model", default="simple_hgn")
+    p_train.add_argument("--epochs", type=int, default=60)
+    p_train.add_argument("--completion", default="one_hot_handcrafted",
+                         help="one_hot_handcrafted | mean | gcn | ppnp | one_hot")
+    p_train.add_argument("--from-search", default=None,
+                         help="reuse a saved search result (.npz)")
+    p_train.set_defaults(func=_cmd_train)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    _add_scale(p_table)
+    p_table.add_argument("number", choices=[str(i) for i in range(2, 11)])
+    p_table.add_argument("--json", default=None,
+                         help="also dump raw results to this JSON file")
+    p_table.set_defaults(func=_cmd_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    _add_scale(p_figure)
+    p_figure.add_argument("number",
+                          choices=["3", "4", "5", "67", "8", "9", "1011"])
+    p_figure.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

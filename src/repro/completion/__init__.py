@@ -1,0 +1,31 @@
+"""``repro.completion`` — attribute-completion operations and feature builders."""
+
+from .base import CompletionOp
+from .mixture import (
+    AttributeProjector,
+    FeatureBuilder,
+    FixedAssignmentFeatures,
+    HandcraftedFeatures,
+    SingleOpFeatures,
+    WeightedCompletionFeatures,
+)
+from .ops import GCNCompletion, MeanCompletion, OneHotCompletion, PPNPCompletion
+from .space import DEFAULT_SPACE, SearchSpace, available_ops, register_op
+
+__all__ = [
+    "CompletionOp",
+    "MeanCompletion",
+    "GCNCompletion",
+    "PPNPCompletion",
+    "OneHotCompletion",
+    "SearchSpace",
+    "register_op",
+    "available_ops",
+    "DEFAULT_SPACE",
+    "AttributeProjector",
+    "FeatureBuilder",
+    "HandcraftedFeatures",
+    "SingleOpFeatures",
+    "WeightedCompletionFeatures",
+    "FixedAssignmentFeatures",
+]

@@ -1,0 +1,50 @@
+"""Abstract interfaces of the completion-operation search space.
+
+A :class:`CompletionOp` produces completed attributes (in the shared hidden
+dimension) for every node in V⁻.  The topology-dependent operations of the
+paper (mean / GCN / PPNP) all factor as
+
+    ``completed = (P X)[V⁻] @ W``
+
+where ``P`` is a fixed propagation operator over the graph, ``X`` the
+zero-filled raw attribute matrix and ``W`` a learnable transform — so each
+op precomputes the constant ``(P X)[V⁻]`` block once and training touches
+only ``W``.  The topology-independent one-hot op is a learnable embedding
+per no-attribute node (one-hot × linear ≡ embedding lookup).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..tensor import Module, Tensor
+
+
+class CompletionOp(Module):
+    """Base class: completes attributes for all V⁻ nodes of a dataset."""
+
+    #: registry key; subclasses must override
+    name: str = "abstract"
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.missing_ids = dataset.missing_global_ids
+        self.num_missing = int(self.missing_ids.shape[0])
+
+    def forward(self) -> Tensor:
+        """Return completed attributes, shape ``(num_missing, hidden_dim)``.
+
+        Row order follows ``dataset.missing_global_ids``.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(nodes={self.num_missing}, dim={self.hidden_dim})"
+
+
+__all__ = ["CompletionOp"]

@@ -1,0 +1,202 @@
+"""Feature builders: assemble the global initial embedding ``h0``.
+
+Every trainer in this repo consumes a :class:`FeatureBuilder` whose
+``forward()`` returns an ``(N, hidden)`` tensor: raw attributes of V⁺
+projected per type, plus completed attributes for V⁻ produced by some
+completion policy.  Builders provided here:
+
+* :class:`HandcraftedFeatures` — HGB's default: one-hot (embedding) per
+  missing node; the baseline used by every handcrafted model in Table II.
+* :class:`SingleOpFeatures`    — one fixed op for all V⁻ (Tables VI/VII).
+* :class:`RandomOpFeatures`    — a random op per node (Tables VI/VII).
+* :class:`WeightedCompletionFeatures` — mixes all candidate ops with
+  per-node weights; AutoAC's relaxed/discrete search drives the weights
+  (see :mod:`repro.core.search`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..tensor import (
+    Linear,
+    Module,
+    ModuleDict,
+    ModuleList,
+    Tensor,
+    scatter_add,
+)
+from .base import CompletionOp
+from .ops import OneHotCompletion
+from .space import SearchSpace
+
+
+class AttributeProjector(Module):
+    """Per-type linear projection of raw attributes into the hidden space."""
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.projections = ModuleDict({
+            node_type: Linear(dataset.features[node_type].shape[1], hidden_dim)
+            for node_type in dataset.attributed_types
+        })
+
+    def forward(self) -> Tensor:
+        """Project every attributed type; returns ``(N, hidden)`` with V⁻ rows zero."""
+        n = self.dataset.graph.num_nodes
+        pieces = []
+        for node_type in self.dataset.attributed_types:
+            raw = Tensor(self.dataset.features[node_type])
+            projected = self.projections[node_type](raw)
+            ids = self.dataset.graph.global_ids(node_type)
+            pieces.append(scatter_add(projected, ids, n))
+        if not pieces:
+            raise ValueError("dataset has no attributed node types")
+        out = pieces[0]
+        for piece in pieces[1:]:
+            out = out + piece
+        return out
+
+
+class FeatureBuilder(Module):
+    """Base: produce the global initial embedding ``h0`` of shape (N, hidden)."""
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.projector = AttributeProjector(dataset, hidden_dim)
+
+    def completed(self) -> Optional[Tensor]:
+        """Completed attributes for V⁻ (``(num_missing, hidden)``) or None."""
+        raise NotImplementedError
+
+    def forward(self) -> Tensor:
+        h0 = self.projector()
+        completed = self.completed()
+        if completed is not None and self.dataset.missing_global_ids.size:
+            h0 = h0 + scatter_add(completed, self.dataset.missing_global_ids,
+                                  self.dataset.graph.num_nodes)
+        return h0
+
+
+class HandcraftedFeatures(FeatureBuilder):
+    """HGB default: missing attributes replaced by one-hot × linear."""
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__(dataset, hidden_dim)
+        self.one_hot = OneHotCompletion(dataset, hidden_dim)
+
+    def completed(self) -> Optional[Tensor]:
+        if not self.dataset.missing_global_ids.size:
+            return None
+        return self.one_hot()
+
+
+class SingleOpFeatures(FeatureBuilder):
+    """Every V⁻ node completed by the same single operation (ablation)."""
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int, op_name: str,
+                 space: Optional[SearchSpace] = None) -> None:
+        super().__init__(dataset, hidden_dim)
+        space = space or SearchSpace()
+        if op_name not in list(space):
+            raise KeyError(f"op {op_name!r} not in search space {list(space)}")
+        ops = space.build_ops(dataset, hidden_dim)
+        self.op = ops[space.index(op_name)]
+        self.op_name = op_name
+
+    def completed(self) -> Optional[Tensor]:
+        if not self.dataset.missing_global_ids.size:
+            return None
+        return self.op()
+
+
+class WeightedCompletionFeatures(FeatureBuilder):
+    """Mix all candidate ops with per-node weights ``(num_missing, |O|)``.
+
+    The weight matrix is supplied externally before each forward pass via
+    :meth:`set_weights`; AutoAC's search sets either softmax-relaxed rows
+    (continuous mode) or one-hot rows (discrete mode).  Ops whose total
+    weight is exactly zero are skipped — this is the computational saving
+    that the paper's discrete constraints buy (Table VIII).
+    """
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 space: Optional[SearchSpace] = None) -> None:
+        super().__init__(dataset, hidden_dim)
+        self.space = space or SearchSpace()
+        self.ops: ModuleList = self.space.build_ops(dataset, hidden_dim)
+        self._weights: Optional[Tensor] = None
+
+    def set_weights(self, weights: Tensor) -> None:
+        """Set the per-node op weights used by the next forward pass."""
+        expected = (self.dataset.missing_global_ids.shape[0], len(self.space))
+        if tuple(weights.shape) != expected:
+            raise ValueError(f"weights must have shape {expected}, "
+                             f"got {tuple(weights.shape)}")
+        self._weights = weights
+
+    def completed(self) -> Optional[Tensor]:
+        if not self.dataset.missing_global_ids.size:
+            return None
+        if self._weights is None:
+            raise RuntimeError("call set_weights() before forward()")
+        total = None
+        for op_index, op in enumerate(self.ops):
+            column = self._weights[:, op_index].reshape(-1, 1)
+            if not column.requires_grad and not np.any(column.data):
+                continue  # inactive op under discrete constraints — skip
+            term = column * op()
+            total = term if total is None else total + term
+        if total is None:  # all weights zero (cannot happen with one-hot rows)
+            raise RuntimeError("no completion op active")
+        return total
+
+
+class FixedAssignmentFeatures(WeightedCompletionFeatures):
+    """Completion driven by a frozen per-node op assignment.
+
+    Used for (a) the random-completion ablation and (b) retraining from a
+    searched assignment.
+    """
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 assignment: np.ndarray,
+                 space: Optional[SearchSpace] = None) -> None:
+        super().__init__(dataset, hidden_dim, space=space)
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape[0] != dataset.missing_global_ids.shape[0]:
+            raise ValueError("assignment must cover every V⁻ node")
+        if assignment.size and (assignment.min() < 0
+                                or assignment.max() >= len(self.space)):
+            raise ValueError("assignment indices out of range for the space")
+        self.assignment = assignment
+        weights = np.zeros((assignment.shape[0], len(self.space)))
+        if assignment.size:
+            weights[np.arange(assignment.shape[0]), assignment] = 1.0
+        self.set_weights(Tensor(weights))
+
+    @classmethod
+    def random(cls, dataset: HeteroDataset, hidden_dim: int,
+               rng: np.random.Generator,
+               space: Optional[SearchSpace] = None) -> "FixedAssignmentFeatures":
+        space = space or SearchSpace()
+        assignment = rng.integers(0, len(space),
+                                  size=dataset.missing_global_ids.shape[0])
+        return cls(dataset, hidden_dim, assignment, space=space)
+
+
+__all__ = [
+    "AttributeProjector",
+    "FeatureBuilder",
+    "HandcraftedFeatures",
+    "SingleOpFeatures",
+    "WeightedCompletionFeatures",
+    "FixedAssignmentFeatures",
+]

@@ -1,0 +1,136 @@
+"""The four completion operations of the AutoAC search space (paper §IV-A).
+
+* :class:`MeanCompletion`   — average of attributed 1-hop neighbors (GraphSage
+  style), ``x_v = W · mean{x_u : u ∈ N_v⁺}``.
+* :class:`GCNCompletion`    — renormalized spectral aggregation,
+  ``x_v = Σ_u (deg v · deg u)^{-1/2} x_u W`` over attributed neighbors.
+* :class:`PPNPCompletion`   — personalized-PageRank diffusion of the
+  zero-filled attribute matrix (global, multi-hop).
+* :class:`OneHotCompletion` — learnable per-node embedding (one-hot encoding
+  followed by a linear projection, fused into an embedding table).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .. import graph as G
+from ..datasets import HeteroDataset
+from ..tensor import Parameter, Tensor, init
+from .base import CompletionOp
+
+
+def _attributed_restriction(dataset: HeteroDataset) -> sp.csr_matrix:
+    """Adjacency columns restricted to attributed nodes (others zeroed)."""
+    mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
+    mask[dataset.attributed_global_ids] = True
+    adj = dataset.graph.adjacency(symmetric=True).tocoo()
+    keep_entries = mask[adj.col]
+    restricted = sp.coo_matrix(
+        (adj.data[keep_entries], (adj.row[keep_entries], adj.col[keep_entries])),
+        shape=adj.shape,
+    )
+    return restricted.tocsr()
+
+
+class MeanCompletion(CompletionOp):
+    """Mean over attributed 1-hop neighbors, then a learnable transform."""
+
+    name = "mean"
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__(dataset, hidden_dim)
+        raw = dataset.feature_matrix_zero_filled()
+        restricted = _attributed_restriction(dataset)
+        counts = np.asarray(restricted.sum(axis=1)).ravel()
+        scale = np.zeros_like(counts)
+        nonzero = counts > 0
+        scale[nonzero] = 1.0 / counts[nonzero]
+        mean_all = sp.diags(scale) @ restricted @ raw
+        self._base = mean_all[self.missing_ids]  # constant (num_missing, d_raw)
+        self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
+                                name="weight")
+
+    def forward(self) -> Tensor:
+        return Tensor(self._base) @ self.weight
+
+
+class GCNCompletion(CompletionOp):
+    """Symmetric-renormalized aggregation of attributed neighbors (Eq. 3)."""
+
+    name = "gcn"
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__(dataset, hidden_dim)
+        raw = dataset.feature_matrix_zero_filled()
+        adj = dataset.graph.adjacency(symmetric=True)
+        degree = np.asarray(adj.sum(axis=1)).ravel()
+        inv_sqrt = np.zeros_like(degree)
+        nonzero = degree > 0
+        inv_sqrt[nonzero] = degree[nonzero] ** -0.5
+        norm = sp.diags(inv_sqrt) @ adj @ sp.diags(inv_sqrt)
+        # restrict to attributed columns so only real attributes are mixed in
+        norm = norm.tocoo()
+        mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
+        mask[dataset.attributed_global_ids] = True
+        keep = mask[norm.col]
+        norm = sp.coo_matrix((norm.data[keep], (norm.row[keep], norm.col[keep])),
+                             shape=norm.shape).tocsr()
+        gcn_all = norm @ raw
+        self._base = gcn_all[self.missing_ids]
+        self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
+                                name="weight")
+
+    def forward(self) -> Tensor:
+        return Tensor(self._base) @ self.weight
+
+
+class PPNPCompletion(CompletionOp):
+    """Personalized-PageRank diffusion of the zero-filled attributes (Eq. 4).
+
+    Uses the APPNP power iteration, which converges geometrically to the
+    closed form ``alpha (I - (1-alpha) Â)^{-1} X`` without a dense inverse.
+    """
+
+    name = "ppnp"
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 alpha: float = 0.1, iterations: int = 10) -> None:
+        super().__init__(dataset, hidden_dim)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"restart probability must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        raw = dataset.feature_matrix_zero_filled()
+        adj = dataset.graph.adjacency(symmetric=True)
+        diffused = G.appnp_propagate(adj, raw, alpha=alpha, iterations=iterations)
+        self._base = diffused[self.missing_ids]
+        self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
+                                name="weight")
+
+    def forward(self) -> Tensor:
+        return Tensor(self._base) @ self.weight
+
+
+class OneHotCompletion(CompletionOp):
+    """Topology-independent completion: a learnable embedding per V⁻ node."""
+
+    name = "one_hot"
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+        super().__init__(dataset, hidden_dim)
+        self.table = Parameter(init.normal((self.num_missing, hidden_dim), std=0.1),
+                               name="table")
+
+    def forward(self) -> Tensor:
+        return self.table
+
+
+__all__ = [
+    "MeanCompletion",
+    "GCNCompletion",
+    "PPNPCompletion",
+    "OneHotCompletion",
+]

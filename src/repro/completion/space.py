@@ -1,0 +1,78 @@
+"""Search-space registry for completion operations.
+
+The paper's space ``O`` is {mean, gcn, ppnp, one_hot}; the registry is
+extensible so downstream users can add their own aggregators (see
+``examples/custom_completion_op.py``) — the paper explicitly frames the
+space as "general and scalable" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Type
+
+from ..datasets import HeteroDataset
+from ..tensor import ModuleList
+from .base import CompletionOp
+from .ops import GCNCompletion, MeanCompletion, OneHotCompletion, PPNPCompletion
+
+_REGISTRY: Dict[str, Callable[..., CompletionOp]] = {}
+
+
+def register_op(name: str, factory: Callable[..., CompletionOp],
+                overwrite: bool = False) -> None:
+    """Register a completion-op factory under ``name``.
+
+    ``factory(dataset, hidden_dim) -> CompletionOp``.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise KeyError(f"completion op {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_ops() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+register_op(MeanCompletion.name, MeanCompletion)
+register_op(GCNCompletion.name, GCNCompletion)
+register_op(PPNPCompletion.name, PPNPCompletion)
+register_op(OneHotCompletion.name, OneHotCompletion)
+
+#: the paper's search space, in the order used for reporting distributions
+DEFAULT_SPACE: List[str] = ["mean", "gcn", "ppnp", "one_hot"]
+
+
+class SearchSpace:
+    """An ordered set of candidate completion operations."""
+
+    def __init__(self, op_names: Sequence[str] = tuple(DEFAULT_SPACE)) -> None:
+        unknown = [name for name in op_names if name not in _REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown completion ops {unknown}; "
+                           f"registered: {available_ops()}")
+        if len(set(op_names)) != len(op_names):
+            raise ValueError("duplicate op names in search space")
+        if not op_names:
+            raise ValueError("search space must not be empty")
+        self.op_names: List[str] = list(op_names)
+
+    def __len__(self) -> int:
+        return len(self.op_names)
+
+    def __iter__(self):
+        return iter(self.op_names)
+
+    def index(self, name: str) -> int:
+        return self.op_names.index(name)
+
+    def build_ops(self, dataset: HeteroDataset, hidden_dim: int) -> ModuleList:
+        """Instantiate every candidate op against a dataset."""
+        return ModuleList([
+            _REGISTRY[name](dataset, hidden_dim) for name in self.op_names
+        ])
+
+    def __repr__(self) -> str:
+        return f"SearchSpace({self.op_names})"
+
+
+__all__ = ["SearchSpace", "register_op", "available_ops", "DEFAULT_SPACE"]

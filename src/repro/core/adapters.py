@@ -1,0 +1,109 @@
+"""Task adapters: expose train/val losses to the bi-level search.
+
+The searcher is task-agnostic — node classification (Tables II/III) and
+link prediction (Table V) plug in through this small protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..completion import FeatureBuilder
+from ..datasets import HeteroDataset
+from ..models import BaseHGNN
+from ..tensor import Tensor, binary_cross_entropy_with_logits, cross_entropy, no_grad
+from ..training.link_prediction import LinkPredictionTask, _pair_scores
+from ..training.metrics import macro_f1, roc_auc
+
+
+class TaskAdapter(Protocol):
+    dataset: HeteroDataset
+
+    def train_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor: ...
+
+    def val_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor: ...
+
+    def val_score(self, model: BaseHGNN, features: FeatureBuilder) -> float: ...
+
+
+class NodeClassificationAdapter:
+    """Cross-entropy on the 24% train split; macro-F1 on the 6% val split."""
+
+    def __init__(self, dataset: HeteroDataset) -> None:
+        self.dataset = dataset
+
+    def _logits(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        return model(features())
+
+    def train_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        split = self.dataset.split
+        logits = self._logits(model, features)
+        loss = cross_entropy(logits[split.train], self.dataset.labels[split.train])
+        if getattr(model, "has_auxiliary_loss", False):
+            loss = loss + model.auxiliary_loss()
+        return loss
+
+    def val_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        split = self.dataset.split
+        logits = self._logits(model, features)
+        return cross_entropy(logits[split.val], self.dataset.labels[split.val])
+
+    def val_score(self, model: BaseHGNN, features: FeatureBuilder) -> float:
+        """Negative validation loss (smoother than F1 on small val splits)."""
+        model.eval()
+        features.eval()
+        with no_grad():
+            loss = self.val_loss(model, features).item()
+        model.train()
+        features.train()
+        return -loss
+
+
+class LinkPredictionAdapter:
+    """BCE on training edges (fresh negatives each call); val ROC-AUC."""
+
+    def __init__(self, task: LinkPredictionTask) -> None:
+        self.task = task
+        self.dataset = task.train_graph_dataset
+
+    def _scores(self, model: BaseHGNN, features: FeatureBuilder,
+                pairs: np.ndarray) -> Tensor:
+        embeddings = model.encode(features())
+        return _pair_scores(embeddings, pairs)
+
+    def train_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        split = self.task.split
+        negatives = self.task.sample_train_negatives()
+        pairs = np.concatenate([split.train_pos, negatives], axis=1)
+        labels = np.concatenate([np.ones(split.train_pos.shape[1]),
+                                 np.zeros(negatives.shape[1])])
+        loss = binary_cross_entropy_with_logits(
+            self._scores(model, features, pairs), labels)
+        if getattr(model, "has_auxiliary_loss", False):
+            loss = loss + model.auxiliary_loss()
+        return loss
+
+    def val_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        split = self.task.split
+        pairs = np.concatenate([split.val_pos, split.val_neg], axis=1)
+        labels = np.concatenate([np.ones(split.val_pos.shape[1]),
+                                 np.zeros(split.val_neg.shape[1])])
+        return binary_cross_entropy_with_logits(
+            self._scores(model, features, pairs), labels)
+
+    def val_score(self, model: BaseHGNN, features: FeatureBuilder) -> float:
+        split = self.task.split
+        model.eval()
+        features.eval()
+        with no_grad():
+            pos = self._scores(model, features, split.val_pos).data
+            neg = self._scores(model, features, split.val_neg).data
+        model.train()
+        features.train()
+        labels = np.concatenate([np.ones(pos.size), np.zeros(neg.size)])
+        return roc_auc(labels, np.concatenate([pos, neg]))
+
+
+__all__ = ["TaskAdapter", "NodeClassificationAdapter", "LinkPredictionAdapter"]

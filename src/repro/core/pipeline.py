@@ -1,0 +1,82 @@
+"""High-level AutoAC facade: search + retrain in one call.
+
+This is the entry point examples and benchmarks use:
+
+    >>> from repro.core import run_autoac
+    >>> result = run_autoac(dataset, "simple_hgn")
+    >>> result.final.macro_f1, result.search.op_distribution()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..completion import SearchSpace
+from ..datasets import HeteroDataset
+from ..training import LinkPredConfig, LinkPredResult, LinkPredictionTask, TrainResult
+from .adapters import LinkPredictionAdapter, NodeClassificationAdapter
+from .config import AutoACConfig
+from .retrain import retrain_link_prediction, retrain_node_classification
+from .search import AutoACSearcher, SearchResult
+
+
+@dataclass
+class AutoACResult:
+    search: SearchResult
+    final: TrainResult
+
+    @property
+    def total_seconds(self) -> float:
+        return self.search.search_seconds + self.final.train_seconds
+
+
+@dataclass
+class AutoACLinkResult:
+    search: SearchResult
+    final: LinkPredResult
+
+    @property
+    def total_seconds(self) -> float:
+        return self.search.search_seconds + self.final.train_seconds
+
+
+def run_autoac(dataset: HeteroDataset, model_name: str = "simple_hgn",
+               config: Optional[AutoACConfig] = None,
+               space: Optional[SearchSpace] = None,
+               seed: int = 0) -> AutoACResult:
+    """Full AutoAC pipeline for node classification (search → retrain)."""
+    config = config or AutoACConfig()
+    adapter = NodeClassificationAdapter(dataset)
+    searcher = AutoACSearcher(adapter, model_name, config, space=space,
+                              seed=seed)
+    search = searcher.search()
+    final = retrain_node_classification(
+        dataset, model_name, search,
+        hidden_dim=config.hidden_dim, out_dim=config.out_dim,
+        config=config.retrain, space=space, **config.model_kwargs)
+    return AutoACResult(search=search, final=final)
+
+
+def run_autoac_link_prediction(task: LinkPredictionTask,
+                               model_name: str = "simple_hgn",
+                               config: Optional[AutoACConfig] = None,
+                               space: Optional[SearchSpace] = None,
+                               retrain_config: Optional[LinkPredConfig] = None,
+                               seed: int = 0) -> AutoACLinkResult:
+    """Full AutoAC pipeline for link prediction (search → retrain)."""
+    config = config or AutoACConfig()
+    adapter = LinkPredictionAdapter(task)
+    searcher = AutoACSearcher(adapter, model_name, config, space=space,
+                              seed=seed)
+    search = searcher.search()
+    final = retrain_link_prediction(
+        task, model_name, search,
+        hidden_dim=config.hidden_dim, out_dim=config.out_dim,
+        config=retrain_config or LinkPredConfig(), space=space,
+        **config.model_kwargs)
+    return AutoACLinkResult(search=search, final=final)
+
+
+__all__ = ["AutoACResult", "AutoACLinkResult", "run_autoac",
+           "run_autoac_link_prediction"]

@@ -1,0 +1,51 @@
+"""Proximal operators for the constrained completion parameters (paper §IV-C).
+
+The feasible set is ``C = C1 ∩ C2`` with
+
+* ``C1 = {a : ||a||_0 = 1}`` — exactly one active operation per row,
+* ``C2 = {a : 0 <= a_i <= 1}`` — the box relaxation.
+
+``prox_C1`` keeps each row's largest entry (one-hot), ``prox_C2`` clips to
+the box, and Proposition 1 gives ``prox_C = prox_C2 ∘ prox_C1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def prox_c1(alpha: np.ndarray) -> np.ndarray:
+    """Project each row onto the one-active-op set: one-hot at the argmax."""
+    alpha = np.asarray(alpha, dtype=np.float64)
+    if alpha.ndim != 2:
+        raise ValueError(f"alpha must be 2-D (rows, |O|), got shape {alpha.shape}")
+    out = np.zeros_like(alpha)
+    out[np.arange(alpha.shape[0]), alpha.argmax(axis=1)] = 1.0
+    return out
+
+
+def prox_c2(alpha: np.ndarray) -> np.ndarray:
+    """Project onto the ``[0, 1]`` box."""
+    return np.clip(np.asarray(alpha, dtype=np.float64), 0.0, 1.0)
+
+
+def prox_c(alpha: np.ndarray) -> np.ndarray:
+    """Proposition 1: ``prox_C = prox_C2 ∘ prox_C1``."""
+    return prox_c2(prox_c1(alpha))
+
+
+def proximal_step(alpha: np.ndarray, grad: np.ndarray, lr: float,
+                  weight_decay: float = 0.0) -> np.ndarray:
+    """One constrained update: ``prox_C2(alpha - lr * (grad + wd * alpha))``.
+
+    This is line 4 of Algorithm 1 — the gradient was taken at the discrete
+    point ``prox_C1(alpha)`` but the descent happens on the continuous
+    variables, which stay inside the box.
+    """
+    if lr <= 0:
+        raise ValueError("learning rate must be positive")
+    effective = grad + weight_decay * alpha
+    return prox_c2(alpha - lr * effective)
+
+
+__all__ = ["prox_c1", "prox_c2", "prox_c", "proximal_step"]

@@ -1,0 +1,64 @@
+"""Retraining stage: train a fresh backbone with the searched assignment.
+
+The paper's pipeline is *search → retrain*: after the bi-level search
+converges, the discrete completion choices are frozen and the GNN is
+retrained from scratch (Table IV reports the two stages separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..completion import FixedAssignmentFeatures, SearchSpace
+from ..datasets import HeteroDataset
+from ..models import build_model
+from ..training import (
+    LinkPredConfig,
+    LinkPredResult,
+    LinkPredictionTask,
+    LinkPredictionTrainer,
+    NodeClassificationTrainer,
+    TrainConfig,
+    TrainResult,
+)
+from .search import SearchResult
+
+
+def retrain_node_classification(
+    dataset: HeteroDataset, model_name: str, search: SearchResult,
+    hidden_dim: int = 64, out_dim: int = 64,
+    config: Optional[TrainConfig] = None,
+    space: Optional[SearchSpace] = None,
+    **model_kwargs,
+) -> TrainResult:
+    """Train a fresh model with the searched per-node completion choices."""
+    features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
+                                       space=space)
+    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
+                        out_dim=out_dim, **model_kwargs)
+    trainer = NodeClassificationTrainer(model, features, dataset,
+                                        config or TrainConfig())
+    return trainer.train()
+
+
+def retrain_link_prediction(
+    task: LinkPredictionTask, model_name: str, search: SearchResult,
+    hidden_dim: int = 64, out_dim: int = 64,
+    config: Optional[LinkPredConfig] = None,
+    space: Optional[SearchSpace] = None,
+    **model_kwargs,
+) -> LinkPredResult:
+    dataset = task.train_graph_dataset
+    features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
+                                       space=space)
+    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
+                        out_dim=out_dim, **model_kwargs)
+    trainer = LinkPredictionTrainer(model, features, task,
+                                    config or LinkPredConfig())
+    return trainer.train()
+
+
+__all__ = ["retrain_node_classification", "retrain_link_prediction"]

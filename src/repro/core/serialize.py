@@ -1,0 +1,90 @@
+"""Persistence for search results and model weights.
+
+A searched completion assignment is the expensive artifact of AutoAC —
+teams want to reuse it across retraining runs and share it between
+machines.  Everything round-trips through a single ``.npz`` file (numpy's
+portable archive), no pickling of code objects involved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..tensor import Module
+from .search import SearchResult
+
+PathLike = Union[str, Path]
+
+
+def save_search_result(result: SearchResult, path: PathLike) -> None:
+    """Write a :class:`SearchResult` to ``path`` (``.npz``)."""
+    path = Path(path)
+    meta = {
+        "op_names": result.op_names,
+        "best_val_score": result.best_val_score,
+        "epochs_run": result.epochs_run,
+        "search_seconds": result.search_seconds,
+        "history_keys": sorted(result.history),
+    }
+    arrays = {
+        "assignment": result.assignment,
+        "cluster_labels": result.cluster_labels,
+        "alpha": result.alpha,
+        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    }
+    for key, trace in result.history.items():
+        arrays[f"history__{key}"] = np.asarray(trace, dtype=np.float64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_search_result(path: PathLike) -> SearchResult:
+    """Read a :class:`SearchResult` back from ``path``."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode())
+        history = {
+            key: archive[f"history__{key}"].tolist()
+            for key in meta["history_keys"]
+            if f"history__{key}" in archive
+        }
+        return SearchResult(
+            assignment=archive["assignment"].copy(),
+            cluster_labels=archive["cluster_labels"].copy(),
+            alpha=archive["alpha"].copy(),
+            op_names=list(meta["op_names"]),
+            best_val_score=float(meta["best_val_score"]),
+            epochs_run=int(meta["epochs_run"]),
+            search_seconds=float(meta["search_seconds"]),
+            history=history,
+        )
+
+
+def save_module(module: Module, path: PathLike) -> None:
+    """Write a module's ``state_dict`` to ``path`` (``.npz``)."""
+    state = module.state_dict()
+    # '.' is not np.savez-safe in all readers; escape deterministically
+    np.savez_compressed(Path(path),
+                        **{key.replace(".", "__dot__"): value
+                           for key, value in state.items()})
+
+
+def load_module(module: Module, path: PathLike) -> None:
+    """Load a ``state_dict`` previously written by :func:`save_module`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {
+            key.replace("__dot__", "."): archive[key] for key in archive.files
+        }
+    module.load_state_dict(state)
+
+
+__all__ = ["save_search_result", "load_search_result", "save_module",
+           "load_module"]

@@ -1,0 +1,161 @@
+"""Dataset container shared by every synthetic HGB-style dataset.
+
+Mirrors what the HGB benchmark hands a model: a heterogeneous graph, raw
+attributes on a subset of node types, labels on a target type with a fixed
+24/6/70 split, and (for link prediction) a target relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import HeteroGraph, Relation
+
+
+@dataclass
+class Split:
+    """Index split over the target type's *local* node ids."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self) -> None:
+        sets = [set(self.train.tolist()), set(self.val.tolist()), set(self.test.tolist())]
+        if sets[0] & sets[1] or sets[0] & sets[2] or sets[1] & sets[2]:
+            raise ValueError("train/val/test splits overlap")
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.val), len(self.test)
+
+
+@dataclass
+class HeteroDataset:
+    """A fully-specified node-classification / link-prediction instance."""
+
+    name: str
+    graph: HeteroGraph
+    target_type: str
+    features: Dict[str, Optional[np.ndarray]]
+    labels: np.ndarray
+    num_classes: int
+    split: Split
+    link_target: Optional[Relation] = None
+    metapaths: List[Tuple[str, ...]] = field(default_factory=list)
+    latent_communities: Optional[np.ndarray] = None  # per-global-node, for analysis
+
+    def __post_init__(self) -> None:
+        for node_type in self.graph.node_types:
+            if node_type not in self.features:
+                raise KeyError(f"features dict missing entry for type {node_type!r}")
+        n_target = self.graph.num_nodes_of(self.target_type)
+        if self.labels.shape[0] != n_target:
+            raise ValueError("labels must cover every target-type node")
+
+    # ------------------------------------------------------------------
+    @property
+    def attributed_types(self) -> List[str]:
+        return [t for t in self.graph.node_types if self.features[t] is not None]
+
+    @property
+    def missing_types(self) -> List[str]:
+        return [t for t in self.graph.node_types if self.features[t] is None]
+
+    @property
+    def missing_global_ids(self) -> np.ndarray:
+        """Global ids of every node whose attributes are missing (V⁻)."""
+        chunks = [self.graph.global_ids(t) for t in self.missing_types]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    @property
+    def attributed_global_ids(self) -> np.ndarray:
+        chunks = [self.graph.global_ids(t) for t in self.attributed_types]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    @property
+    def attribute_missing_rate(self) -> float:
+        return self.missing_global_ids.shape[0] / self.graph.num_nodes
+
+    def feature_matrix_zero_filled(self, dim: Optional[int] = None) -> np.ndarray:
+        """Global ``(N, d)`` raw feature matrix with missing rows zeroed.
+
+        All attributed types must share one raw dimension (true for our
+        generators); ``dim`` overrides it when there are no attributed types.
+        """
+        dims = {self.features[t].shape[1] for t in self.attributed_types}
+        if len(dims) > 1:
+            raise ValueError(f"attributed types disagree on raw dim: {dims}")
+        d = dims.pop() if dims else dim
+        if d is None:
+            raise ValueError("no attributed types and no dim override")
+        out = np.zeros((self.graph.num_nodes, d))
+        for node_type in self.attributed_types:
+            info = self.graph.info(node_type)
+            out[info.offset:info.stop] = self.features[node_type]
+        return out
+
+    # ------------------------------------------------------------------
+    def with_handcrafted_onehot(self, node_types: List[str]) -> "HeteroDataset":
+        """Treat ``node_types`` as attributed via handcrafted one-hot features.
+
+        This is the paper's Table IX protocol for lowering the attribute
+        missing rate: the named types receive identity features (projected
+        to the shared raw dimension by zero-padding / truncation) and are no
+        longer part of V⁻.
+        """
+        dims = {self.features[t].shape[1] for t in self.attributed_types}
+        if len(dims) != 1:
+            raise ValueError("need exactly one raw dimension to align one-hot features")
+        d = dims.pop()
+        features = dict(self.features)
+        rng = np.random.default_rng(0)
+        for node_type in node_types:
+            if features.get(node_type) is not None:
+                continue
+            count = self.graph.num_nodes_of(node_type)
+            eye = np.eye(count)
+            if count >= d:
+                # random projection keeps rows distinguishable at dimension d
+                projection = rng.normal(size=(count, d)) / np.sqrt(d)
+                features[node_type] = eye @ projection
+            else:
+                padded = np.zeros((count, d))
+                padded[:, :count] = eye
+                features[node_type] = padded
+        return replace(self, features=features)
+
+    def __repr__(self) -> str:
+        return (f"HeteroDataset({self.name!r}, target={self.target_type!r}, "
+                f"classes={self.num_classes}, missing_rate="
+                f"{self.attribute_missing_rate:.2f}, graph={self.graph!r})")
+
+
+def stratified_split(labels: np.ndarray, fractions: Tuple[float, float, float],
+                     rng: np.random.Generator) -> Split:
+    """Per-class proportional split (HGB uses 24/6/70 on labelled nodes)."""
+    train_frac, val_frac, _ = fractions
+    train_idx, val_idx, test_idx = [], [], []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        members = rng.permutation(members)
+        n_train = max(1, int(round(train_frac * members.size)))
+        n_val = max(1, int(round(val_frac * members.size)))
+        train_idx.append(members[:n_train])
+        val_idx.append(members[n_train:n_train + n_val])
+        test_idx.append(members[n_train + n_val:])
+    return Split(
+        train=np.sort(np.concatenate(train_idx)),
+        val=np.sort(np.concatenate(val_idx)),
+        test=np.sort(np.concatenate(test_idx)),
+    )
+
+
+__all__ = ["HeteroDataset", "Split", "stratified_split"]

@@ -1,0 +1,86 @@
+"""Dataset statistics in the layout of the paper's Table I.
+
+The paper's Table I reports, per dataset: node counts per type, edge
+count, the target node/edge type, and which types carry raw attributes.
+:func:`dataset_statistics` extracts the same facts from a generated
+dataset and :func:`render_table1` prints them in the paper's layout, so
+the synthetic stand-ins can be eyeballed against the original numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .base import HeteroDataset
+
+
+@dataclass
+class TypeStat:
+    name: str
+    count: int
+    attribute: str  # "Raw" or "Missing"
+
+
+@dataclass
+class DatasetStats:
+    name: str
+    num_nodes: int
+    num_node_types: int
+    per_type: List[TypeStat]
+    num_edges: int
+    target: str
+    link_target: Optional[str]
+    attribute_missing_rate: float
+
+
+def dataset_statistics(dataset: HeteroDataset) -> DatasetStats:
+    graph = dataset.graph
+    per_type = [
+        TypeStat(
+            name=node_type,
+            count=graph.num_nodes_of(node_type),
+            attribute="Raw" if dataset.features[node_type] is not None
+            else "Missing",
+        )
+        for node_type in graph.node_types
+    ]
+    # count each undirected edge once (reverse relations are bookkeeping)
+    forward_edges = sum(
+        graph.num_edges(rel) for rel in graph.relations
+        if not rel[1].endswith("_rev")
+    )
+    link = "-".join([dataset.link_target[0], dataset.link_target[2]]) \
+        if dataset.link_target else None
+    return DatasetStats(
+        name=dataset.name,
+        num_nodes=graph.num_nodes,
+        num_node_types=len(graph.node_types),
+        per_type=per_type,
+        num_edges=forward_edges,
+        target=dataset.target_type,
+        link_target=link,
+        attribute_missing_rate=dataset.attribute_missing_rate,
+    )
+
+
+def render_table1(stats_list: List[DatasetStats]) -> str:
+    lines = ["=== Table I (dataset statistics) ==="]
+    lines.append(f"{'dataset':9s}{'#nodes':>8s}{'#types':>8s}  "
+                 f"{'per-type counts':44s}{'#edges':>8s}  "
+                 f"{'target':14s}{'missing':>9s}")
+    for stats in stats_list:
+        per_type = ", ".join(
+            f"{t.name}:{t.count}{'*' if t.attribute == 'Raw' else ''}"
+            for t in stats.per_type)
+        target = stats.target + (f"/{stats.link_target}"
+                                 if stats.link_target else "")
+        lines.append(
+            f"{stats.name:9s}{stats.num_nodes:8d}{stats.num_node_types:8d}  "
+            f"{per_type:44s}{stats.num_edges:8d}  {target:14s}"
+            f"{stats.attribute_missing_rate:9.0%}")
+    lines.append("(* = type carries raw attributes)")
+    return "\n".join(lines)
+
+
+__all__ = ["TypeStat", "DatasetStats", "dataset_statistics", "render_table1"]

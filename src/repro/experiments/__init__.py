@@ -1,0 +1,50 @@
+"""``repro.experiments`` — drivers and reporting for every paper table/figure."""
+
+from . import figures, reporting, tables
+from .configs import PAPER_LAMBDA, PAPER_NUM_CLUSTERS, autoac_config, preset
+from .figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6_7,
+    figure8,
+    figure9,
+    figure10_11,
+)
+from .tables import (
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+)
+
+__all__ = [
+    "preset",
+    "autoac_config",
+    "PAPER_NUM_CLUSTERS",
+    "PAPER_LAMBDA",
+    "tables",
+    "figures",
+    "reporting",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6_7",
+    "figure8",
+    "figure9",
+    "figure10_11",
+]

@@ -1,0 +1,178 @@
+"""Drivers regenerating every figure of the paper's evaluation section.
+
+Figures are returned as structured series (no plotting dependency is
+available offline); :mod:`repro.experiments.reporting` renders ASCII charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..datasets import get_dataset
+from ..models import AUTOAC_BACKBONES
+from .configs import preset
+from .runner import train_autoac, train_autoac_repeated
+
+CLUSTER_METHODS = ("none", "em", "em_warmup", "modularity")
+
+
+def figure3(scale: Optional[str] = None,
+            datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+            backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
+            seed: int = 0) -> Dict:
+    """Figure 3: clustering-method comparison (w/o cluster, EM, EM+warmup,
+    the modularity-based AutoAC)."""
+    p = preset(scale)
+    series: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for backbone in backbones:
+        series[backbone] = {}
+        for ds_name in datasets:
+            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+            per_method = {}
+            for method in CLUSTER_METHODS:
+                metrics = train_autoac(dataset, ds_name, backbone, p,
+                                       seed=seed, cluster_method=method)
+                per_method[method] = metrics["macro_f1"]
+            series[backbone][ds_name] = per_method
+    return {"figure": "3", "series": series}
+
+
+def figure4(scale: Optional[str] = None,
+            datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+            backbone: str = "simple_hgn",
+            seed: int = 0) -> Dict:
+    """Figure 4: convergence of the clustering loss L_GmoC."""
+    p = preset(scale)
+    traces: Dict[str, List[float]] = {}
+    for ds_name in datasets:
+        dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+        metrics = train_autoac(dataset, ds_name, backbone, p, seed=seed)
+        traces[ds_name] = list(metrics["history"]["lgmoc"])
+    return {"figure": "4", "traces": traces}
+
+
+def figure5(scale: Optional[str] = None,
+            datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+            backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
+            seed: int = 0) -> Dict:
+    """Figure 5: distribution of searched completion operations."""
+    p = preset(scale)
+    distributions: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for backbone in backbones:
+        distributions[backbone] = {}
+        for ds_name in datasets:
+            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+            metrics = train_autoac(dataset, ds_name, backbone, p, seed=seed)
+            distributions[backbone][ds_name] = metrics["op_distribution"]
+    return {"figure": "5", "distributions": distributions}
+
+
+def figure6_7(scale: Optional[str] = None,
+              datasets: Sequence[str] = ("acm", "imdb"),
+              backbone: str = "simple_hgn",
+              seed: int = 0) -> Dict:
+    """Figures 6/7: per-node-type distribution of searched operations."""
+    p = preset(scale)
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for ds_name in datasets:
+        dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+        metrics = train_autoac(dataset, ds_name, backbone, p, seed=seed)
+        assignment = metrics["assignment"]
+        op_names = ["mean", "gcn", "ppnp", "one_hot"]
+        missing_ids = dataset.missing_global_ids
+        type_index = dataset.graph.node_type_index[missing_ids]
+        per_type: Dict[str, Dict[str, float]] = {}
+        for type_id, type_name in enumerate(dataset.graph.node_types):
+            mask = type_index == type_id
+            total = int(mask.sum())
+            if total == 0:
+                continue
+            per_type[type_name] = {
+                op: float(np.sum(assignment[mask] == op_idx)) / total
+                for op_idx, op in enumerate(op_names)
+            }
+        out[ds_name] = per_type
+    return {"figure": "6/7", "per_type": out}
+
+
+def figure8(scale: Optional[str] = None,
+            datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+            backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
+            m_values: Sequence[int] = (2, 4, 8, 12, 16),
+            seed: int = 0) -> Dict:
+    """Figure 8: sensitivity to the number of clusters M."""
+    p = preset(scale)
+    series: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for backbone in backbones:
+        series[backbone] = {}
+        for ds_name in datasets:
+            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+            sweep = {}
+            for m in m_values:
+                metrics = train_autoac(dataset, ds_name, backbone, p,
+                                       seed=seed, num_clusters=m)
+                sweep[m] = metrics["macro_f1"]
+            series[backbone][ds_name] = sweep
+    return {"figure": "8", "series": series, "m_values": list(m_values)}
+
+
+def figure9(scale: Optional[str] = None,
+            datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+            backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
+            lambda_values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+            seed: int = 0) -> Dict:
+    """Figure 9: sensitivity to the clustering-loss coefficient lambda."""
+    p = preset(scale)
+    series: Dict[str, Dict[str, Dict[float, float]]] = {}
+    for backbone in backbones:
+        series[backbone] = {}
+        for ds_name in datasets:
+            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+            sweep = {}
+            for lam in lambda_values:
+                metrics = train_autoac(dataset, ds_name, backbone, p,
+                                       seed=seed, lambda_cluster=lam)
+                sweep[lam] = metrics["macro_f1"]
+            series[backbone][ds_name] = sweep
+    return {"figure": "9", "series": series,
+            "lambda_values": list(lambda_values)}
+
+
+def figure10_11(scale: Optional[str] = None,
+                datasets: Sequence[str] = ("dblp", "acm", "imdb"),
+                backbone: str = "simple_hgn",
+                lr_values: Sequence[float] = (3e-3, 4e-3, 5e-3, 6e-3, 7e-3),
+                wd_values: Sequence[float] = (5e-6, 1e-5, 2e-5, 3e-5, 4e-3),
+                seed: int = 0) -> Dict:
+    """Figures 10/11: sensitivity to alpha's learning rate and weight decay."""
+    p = preset(scale)
+    lr_series: Dict[str, Dict[float, float]] = {}
+    wd_series: Dict[str, Dict[float, float]] = {}
+    for ds_name in datasets:
+        dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
+        lr_series[ds_name] = {}
+        for lr in lr_values:
+            metrics = train_autoac(dataset, ds_name, backbone, p,
+                                   seed=seed, alpha_lr=lr)
+            lr_series[ds_name][lr] = metrics["macro_f1"]
+        wd_series[ds_name] = {}
+        for wd in wd_values:
+            metrics = train_autoac(dataset, ds_name, backbone, p,
+                                   seed=seed, alpha_weight_decay=wd)
+            wd_series[ds_name][wd] = metrics["macro_f1"]
+    return {"figure": "10/11", "lr_series": lr_series, "wd_series": wd_series,
+            "lr_values": list(lr_values), "wd_values": list(wd_values)}
+
+
+__all__ = [
+    "CLUSTER_METHODS",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6_7",
+    "figure8",
+    "figure9",
+    "figure10_11",
+]

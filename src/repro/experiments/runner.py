@@ -1,0 +1,213 @@
+"""Shared execution helpers for the table/figure drivers."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..baselines import HGNNACFeatures, Metapath2VecConfig, prelearn_topology
+from ..completion import (
+    FeatureBuilder,
+    FixedAssignmentFeatures,
+    HandcraftedFeatures,
+    SingleOpFeatures,
+)
+from ..core import AutoACConfig, run_autoac, run_autoac_link_prediction
+from ..datasets import HeteroDataset, get_dataset
+from ..models import build_model
+from ..training import (
+    LinkPredConfig,
+    LinkPredictionTask,
+    LinkPredictionTrainer,
+    NodeClassificationTrainer,
+    TrainConfig,
+    set_seed,
+)
+from .configs import ExperimentPreset, autoac_config, preset
+
+
+def mean_std(values: List[float]) -> Dict[str, float]:
+    arr = np.asarray(values, dtype=np.float64)
+    return {"mean": float(arr.mean()), "std": float(arr.std())}
+
+
+def train_baseline(dataset: HeteroDataset, model_name: str,
+                   p: ExperimentPreset, seed: int = 0,
+                   features_factory: Optional[Callable[[], FeatureBuilder]] = None,
+                   **model_kwargs) -> Dict[str, float]:
+    """One handcrafted-completion training run; returns metric row."""
+    set_seed(seed)
+    features = (features_factory() if features_factory
+                else HandcraftedFeatures(dataset, p.hidden_dim))
+    model = build_model(model_name, dataset, hidden_dim=p.hidden_dim,
+                        out_dim=p.hidden_dim, **model_kwargs)
+    result = NodeClassificationTrainer(model, features, dataset, p.train).train()
+    return {
+        "macro_f1": result.macro_f1,
+        "micro_f1": result.micro_f1,
+        "runtime_total": result.train_seconds,
+        "runtime_per_epoch": result.train_seconds / max(result.epochs_run, 1),
+    }
+
+
+def train_baseline_repeated(dataset: HeteroDataset, model_name: str,
+                            p: ExperimentPreset, base_seed: int = 0,
+                            features_factory=None,
+                            **model_kwargs) -> Dict[str, float]:
+    runs = [train_baseline(dataset, model_name, p, seed=base_seed + i,
+                           features_factory=features_factory, **model_kwargs)
+            for i in range(p.repeats)]
+    macro = mean_std([r["macro_f1"] for r in runs])
+    micro = mean_std([r["micro_f1"] for r in runs])
+    return {
+        "macro_f1": macro["mean"], "macro_f1_std": macro["std"],
+        "micro_f1": micro["mean"], "micro_f1_std": micro["std"],
+        "runtime_total": float(np.mean([r["runtime_total"] for r in runs])),
+        "runtime_per_epoch": float(np.mean([r["runtime_per_epoch"]
+                                            for r in runs])),
+    }
+
+
+def train_autoac(dataset: HeteroDataset, dataset_name: str, model_name: str,
+                 p: ExperimentPreset, seed: int = 0,
+                 **config_overrides) -> Dict[str, float]:
+    """One AutoAC search+retrain run; returns metric row with timing split."""
+    set_seed(seed)
+    config = autoac_config(model_name, dataset_name, p, **config_overrides)
+    result = run_autoac(dataset, model_name, config, seed=seed)
+    return {
+        "macro_f1": result.final.macro_f1,
+        "micro_f1": result.final.micro_f1,
+        "search_seconds": result.search.search_seconds,
+        "retrain_seconds": result.final.train_seconds,
+        "runtime_total": result.total_seconds,
+        "runtime_per_epoch": result.final.train_seconds
+        / max(result.final.epochs_run, 1),
+        "op_distribution": result.search.op_distribution(),
+        "assignment": result.search.assignment,
+        "history": result.search.history,
+        "cluster_labels": result.search.cluster_labels,
+    }
+
+
+def train_autoac_repeated(dataset: HeteroDataset, dataset_name: str,
+                          model_name: str, p: ExperimentPreset,
+                          base_seed: int = 0,
+                          **config_overrides) -> Dict[str, float]:
+    runs = [train_autoac(dataset, dataset_name, model_name, p,
+                         seed=base_seed + i, **config_overrides)
+            for i in range(p.repeats)]
+    macro = mean_std([r["macro_f1"] for r in runs])
+    micro = mean_std([r["micro_f1"] for r in runs])
+    return {
+        "macro_f1": macro["mean"], "macro_f1_std": macro["std"],
+        "micro_f1": micro["mean"], "micro_f1_std": micro["std"],
+        "search_seconds": float(np.mean([r["search_seconds"] for r in runs])),
+        "retrain_seconds": float(np.mean([r["retrain_seconds"] for r in runs])),
+        "runtime_total": float(np.mean([r["runtime_total"] for r in runs])),
+        "runtime_per_epoch": float(np.mean([r["runtime_per_epoch"]
+                                            for r in runs])),
+        "op_distribution": runs[0]["op_distribution"],
+        "assignment": runs[0]["assignment"],
+        "history": runs[0]["history"],
+        "cluster_labels": runs[0]["cluster_labels"],
+    }
+
+
+def train_hgnnac(dataset: HeteroDataset, model_name: str,
+                 p: ExperimentPreset, seed: int = 0) -> Dict[str, float]:
+    """HGNN-AC pipeline: metapath2vec pre-learning, then joint training."""
+    set_seed(seed)
+    # pre-learning uses metapath2vec's published budget shape (tens of walks
+    # per node, length ~100); this is the stage that dominates HGNN-AC's
+    # end-to-end cost in the paper's Table IV, so it is not scaled away
+    m2v = Metapath2VecConfig(embed_dim=32,
+                             walks_per_node=20 if p.scale == "tiny" else 40,
+                             walk_length=50 if p.scale == "tiny" else 80,
+                             epochs=3)
+    pre = prelearn_topology(dataset, m2v, seed=seed)
+    features = HGNNACFeatures(dataset, p.hidden_dim, pre.embeddings)
+    model = build_model(model_name, dataset, hidden_dim=p.hidden_dim,
+                        out_dim=p.hidden_dim)
+    result = NodeClassificationTrainer(model, features, dataset, p.train).train()
+    return {
+        "macro_f1": result.macro_f1,
+        "micro_f1": result.micro_f1,
+        "prelearn_seconds": pre.seconds,
+        "train_seconds": result.train_seconds,
+        "runtime_total": pre.seconds + result.train_seconds,
+    }
+
+
+def train_hgnnac_repeated(dataset: HeteroDataset, model_name: str,
+                          p: ExperimentPreset,
+                          base_seed: int = 0) -> Dict[str, float]:
+    runs = [train_hgnnac(dataset, model_name, p, seed=base_seed + i)
+            for i in range(p.repeats)]
+    macro = mean_std([r["macro_f1"] for r in runs])
+    micro = mean_std([r["micro_f1"] for r in runs])
+    return {
+        "macro_f1": macro["mean"], "macro_f1_std": macro["std"],
+        "micro_f1": micro["mean"], "micro_f1_std": micro["std"],
+        "prelearn_seconds": float(np.mean([r["prelearn_seconds"]
+                                           for r in runs])),
+        "train_seconds": float(np.mean([r["train_seconds"] for r in runs])),
+        "runtime_total": float(np.mean([r["runtime_total"] for r in runs])),
+    }
+
+
+def train_link_baseline(task: LinkPredictionTask, model_name: str,
+                        p: ExperimentPreset, seed: int = 0) -> Dict[str, float]:
+    set_seed(seed)
+    dataset = task.train_graph_dataset
+    features = HandcraftedFeatures(dataset, p.hidden_dim)
+    model = build_model(model_name, dataset, hidden_dim=p.hidden_dim,
+                        out_dim=p.hidden_dim)
+    result = LinkPredictionTrainer(model, features, task, p.link).train()
+    return {
+        "roc_auc": result.roc_auc,
+        "mrr": result.mrr,
+        "runtime_total": result.train_seconds,
+        "runtime_per_epoch": result.train_seconds / max(result.epochs_run, 1),
+    }
+
+
+def train_link_autoac(task: LinkPredictionTask, dataset_name: str,
+                      model_name: str, p: ExperimentPreset,
+                      seed: int = 0) -> Dict[str, float]:
+    set_seed(seed)
+    config = autoac_config(model_name, dataset_name, p)
+    result = run_autoac_link_prediction(task, model_name, config,
+                                        retrain_config=p.link, seed=seed)
+    return {
+        "roc_auc": result.final.roc_auc,
+        "mrr": result.final.mrr,
+        "search_seconds": result.search.search_seconds,
+        "runtime_total": result.total_seconds,
+        "runtime_per_epoch": result.final.train_seconds
+        / max(result.final.epochs_run, 1),
+    }
+
+
+def single_op_features_factory(dataset: HeteroDataset, hidden_dim: int,
+                               op_name: str):
+    if op_name == "random":
+        rng = np.random.default_rng(0)
+        return lambda: FixedAssignmentFeatures.random(dataset, hidden_dim, rng)
+    return lambda: SingleOpFeatures(dataset, hidden_dim, op_name)
+
+
+__all__ = [
+    "mean_std",
+    "train_baseline",
+    "train_baseline_repeated",
+    "train_autoac",
+    "train_autoac_repeated",
+    "train_hgnnac",
+    "train_hgnnac_repeated",
+    "train_link_baseline",
+    "train_link_autoac",
+    "single_op_features_factory",
+]

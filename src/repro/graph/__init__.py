@@ -1,0 +1,33 @@
+"""``repro.graph`` — heterogeneous graph container and topology toolkit."""
+
+from .adjacency import (
+    add_self_loops,
+    appnp_propagate,
+    ppnp_exact,
+    row_normalized_adjacency,
+    sym_normalized_adjacency,
+)
+from .hetero import HeteroGraph, NodeTypeInfo, Relation
+from .metapath import DEFAULT_METAPATHS, metapath_adjacency, metapath_edge_list
+from .modularity import collapse_regularization, hard_modularity, modularity_value
+from .walks import metapath_random_walks, typed_neighbor_sample, uniform_random_walks
+
+__all__ = [
+    "HeteroGraph",
+    "NodeTypeInfo",
+    "Relation",
+    "add_self_loops",
+    "sym_normalized_adjacency",
+    "row_normalized_adjacency",
+    "ppnp_exact",
+    "appnp_propagate",
+    "metapath_adjacency",
+    "metapath_edge_list",
+    "DEFAULT_METAPATHS",
+    "modularity_value",
+    "hard_modularity",
+    "collapse_regularization",
+    "uniform_random_walks",
+    "metapath_random_walks",
+    "typed_neighbor_sample",
+]

@@ -1,0 +1,266 @@
+"""Heterogeneous graph container.
+
+Replaces DGL's ``DGLHeteroGraph`` for this reproduction.  Nodes of every
+type are packed into one contiguous global id space (type by type, in the
+declared order), which keeps attribute completion, clustering and the
+homogeneous views (PPNP, modularity) simple, while typed edge lists retain
+the relational structure needed by the heterogeneous models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+Relation = Tuple[str, str, str]  # (src_type, edge_name, dst_type)
+
+
+@dataclass(frozen=True)
+class NodeTypeInfo:
+    """Bookkeeping for one node type inside the global id space."""
+
+    name: str
+    count: int
+    offset: int
+
+    @property
+    def stop(self) -> int:
+        return self.offset + self.count
+
+    def global_ids(self) -> np.ndarray:
+        return np.arange(self.offset, self.stop, dtype=np.int64)
+
+
+class HeteroGraph:
+    """A typed multigraph over a contiguous global node id space.
+
+    Parameters
+    ----------
+    node_counts:
+        Ordered mapping ``type name -> number of nodes``.  The order fixes
+        the global id layout.
+    edges:
+        Mapping ``(src_type, edge_name, dst_type) -> (2, E) array`` of
+        *local* (per-type) node ids.  Each relation is stored directed;
+        use :meth:`add_reverse_relations` for symmetric message passing.
+    """
+
+    def __init__(
+        self,
+        node_counts: Mapping[str, int],
+        edges: Mapping[Relation, np.ndarray],
+    ) -> None:
+        self.node_types: List[str] = list(node_counts.keys())
+        self._info: Dict[str, NodeTypeInfo] = {}
+        offset = 0
+        for name in self.node_types:
+            count = int(node_counts[name])
+            if count <= 0:
+                raise ValueError(f"node type {name!r} must have a positive count")
+            self._info[name] = NodeTypeInfo(name=name, count=count, offset=offset)
+            offset += count
+        self.num_nodes: int = offset
+
+        # caches invalidated on mutation
+        self._cache: Dict[str, object] = {}
+
+        self.relations: List[Relation] = []
+        self._edges: Dict[Relation, np.ndarray] = {}
+        for relation, pairs in edges.items():
+            self.add_relation(relation, pairs)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation, pairs: np.ndarray) -> None:
+        src_type, _, dst_type = relation
+        if src_type not in self._info or dst_type not in self._info:
+            raise KeyError(f"unknown node type in relation {relation!r}")
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[0] != 2:
+            raise ValueError(f"edges for {relation!r} must be a (2, E) array")
+        if pairs.shape[1] > 0:
+            if pairs[0].min() < 0 or pairs[0].max() >= self._info[src_type].count:
+                raise ValueError(f"source ids out of range for {relation!r}")
+            if pairs[1].min() < 0 or pairs[1].max() >= self._info[dst_type].count:
+                raise ValueError(f"destination ids out of range for {relation!r}")
+        if relation in self._edges:
+            raise KeyError(f"relation {relation!r} already present")
+        self.relations.append(relation)
+        self._edges[relation] = pairs
+        self._cache.clear()
+
+    def add_reverse_relations(self, suffix: str = "_rev") -> "HeteroGraph":
+        """Add a reversed copy of every relation whose reverse is missing.
+
+        Self-relations (same src and dst type) whose edge set is already
+        symmetric are left untouched.
+        """
+        for relation in list(self.relations):
+            src_type, name, dst_type = relation
+            reverse = (dst_type, name + suffix, src_type)
+            if reverse in self._edges or name.endswith(suffix):
+                continue
+            pairs = self._edges[relation]
+            self.add_relation(reverse, np.stack([pairs[1], pairs[0]]))
+        return self
+
+    # ------------------------------------------------------------------
+    # Type/id bookkeeping
+    # ------------------------------------------------------------------
+    def info(self, node_type: str) -> NodeTypeInfo:
+        return self._info[node_type]
+
+    def num_nodes_of(self, node_type: str) -> int:
+        return self._info[node_type].count
+
+    def offset_of(self, node_type: str) -> int:
+        return self._info[node_type].offset
+
+    def global_ids(self, node_type: str) -> np.ndarray:
+        return self._info[node_type].global_ids()
+
+    def to_global(self, node_type: str, local_ids: np.ndarray) -> np.ndarray:
+        return np.asarray(local_ids, dtype=np.int64) + self._info[node_type].offset
+
+    def to_local(self, node_type: str, global_ids: np.ndarray) -> np.ndarray:
+        return np.asarray(global_ids, dtype=np.int64) - self._info[node_type].offset
+
+    @property
+    def node_type_index(self) -> np.ndarray:
+        """Per-global-node integer type id, in ``node_types`` order."""
+        key = "node_type_index"
+        if key not in self._cache:
+            out = np.empty(self.num_nodes, dtype=np.int64)
+            for type_id, name in enumerate(self.node_types):
+                info = self._info[name]
+                out[info.offset:info.stop] = type_id
+            self._cache[key] = out
+        return self._cache[key]  # type: ignore[return-value]
+
+    def type_of(self, global_id: int) -> str:
+        return self.node_types[int(self.node_type_index[global_id])]
+
+    # ------------------------------------------------------------------
+    # Edge access
+    # ------------------------------------------------------------------
+    def edges_local(self, relation: Relation) -> np.ndarray:
+        return self._edges[relation]
+
+    def edges_global(self, relation: Relation) -> np.ndarray:
+        src_type, _, dst_type = relation
+        pairs = self._edges[relation]
+        return np.stack([
+            pairs[0] + self._info[src_type].offset,
+            pairs[1] + self._info[dst_type].offset,
+        ])
+
+    def num_edges(self, relation: Optional[Relation] = None) -> int:
+        if relation is not None:
+            return self._edges[relation].shape[1]
+        return sum(pairs.shape[1] for pairs in self._edges.values())
+
+    def all_edges_global(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenate every relation: ``(src, dst, edge_type_id)`` arrays.
+
+        Edge type ids follow the order of ``self.relations``.
+        """
+        key = "all_edges_global"
+        if key not in self._cache:
+            srcs, dsts, types = [], [], []
+            for type_id, relation in enumerate(self.relations):
+                pairs = self.edges_global(relation)
+                srcs.append(pairs[0])
+                dsts.append(pairs[1])
+                types.append(np.full(pairs.shape[1], type_id, dtype=np.int64))
+            src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+            dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+            etype = np.concatenate(types) if types else np.empty(0, dtype=np.int64)
+            self._cache[key] = (src, dst, etype)
+        return self._cache[key]  # type: ignore[return-value]
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    # ------------------------------------------------------------------
+    # Homogeneous views
+    # ------------------------------------------------------------------
+    def adjacency(self, symmetric: bool = True) -> sp.csr_matrix:
+        """Unweighted global adjacency (binarized, optionally symmetrized)."""
+        key = f"adjacency:{symmetric}"
+        if key not in self._cache:
+            src, dst, _ = self.all_edges_global()
+            data = np.ones(src.shape[0], dtype=np.float64)
+            adj = sp.coo_matrix((data, (src, dst)),
+                                shape=(self.num_nodes, self.num_nodes)).tocsr()
+            if symmetric:
+                adj = adj.maximum(adj.T)
+            adj.data[:] = 1.0
+            adj.setdiag(0)
+            adj.eliminate_zeros()
+            self._cache[key] = adj
+        return self._cache[key]  # type: ignore[return-value]
+
+    def biadjacency(self, relation: Relation) -> sp.csr_matrix:
+        """Per-relation biadjacency of shape ``(n_src_type, n_dst_type)``."""
+        src_type, _, dst_type = relation
+        pairs = self._edges[relation]
+        data = np.ones(pairs.shape[1], dtype=np.float64)
+        return sp.coo_matrix(
+            (data, (pairs[0], pairs[1])),
+            shape=(self._info[src_type].count, self._info[dst_type].count),
+        ).tocsr()
+
+    def degrees(self, symmetric: bool = True) -> np.ndarray:
+        adj = self.adjacency(symmetric=symmetric)
+        return np.asarray(adj.sum(axis=1)).ravel()
+
+    def neighbors(self, global_id: int) -> np.ndarray:
+        adj = self.adjacency(symmetric=True)
+        start, stop = adj.indptr[global_id], adj.indptr[global_id + 1]
+        return adj.indices[start:stop]
+
+    # ------------------------------------------------------------------
+    def subgraph_without_edges(self, relation: Relation,
+                               drop_mask: np.ndarray) -> "HeteroGraph":
+        """Copy of the graph with ``drop_mask`` edges of ``relation`` removed.
+
+        Used by the link-prediction protocol, which masks a fraction of the
+        target relation's edges for evaluation.  The dropped pairs are also
+        removed from the matching reverse relation (if present), so masked
+        edges cannot leak back through symmetrization.
+        """
+        drop_mask = np.asarray(drop_mask, dtype=bool)
+        if drop_mask.shape[0] != self.num_edges(relation):
+            raise ValueError("drop mask length must equal the relation's edge count")
+        src_type, name, dst_type = relation
+        reverse = (dst_type, name + "_rev", src_type)
+        dropped_pairs = self._edges[relation][:, drop_mask]
+        dropped_keys = set(zip(dropped_pairs[0].tolist(),
+                               dropped_pairs[1].tolist()))
+        edges = {}
+        for rel in self.relations:
+            pairs = self._edges[rel]
+            if rel == relation:
+                pairs = pairs[:, ~drop_mask]
+            elif rel == reverse and dropped_keys:
+                keep = np.array([
+                    (dst, src) not in dropped_keys
+                    for src, dst in pairs.T.tolist()
+                ], dtype=bool)
+                pairs = pairs[:, keep]
+            edges[rel] = pairs.copy()
+        counts = {name: self._info[name].count for name in self.node_types}
+        return HeteroGraph(counts, edges)
+
+    def __repr__(self) -> str:
+        type_desc = ", ".join(f"{t}:{self._info[t].count}" for t in self.node_types)
+        return (f"HeteroGraph(nodes=[{type_desc}], "
+                f"relations={len(self.relations)}, edges={self.num_edges()})")
+
+
+__all__ = ["HeteroGraph", "NodeTypeInfo", "Relation"]

@@ -1,0 +1,154 @@
+"""Metapath utilities for HAN/MAGNN-style models.
+
+A metapath such as ``M-A-M`` induces a homogeneous graph over its endpoint
+type: two movies are metapath neighbors when they share an actor.  We build
+that graph by chaining per-relation biadjacency matrices; entry ``(i, j)``
+of the product counts metapath instances, which the models may use as edge
+weights or simply binarize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .hetero import HeteroGraph, Relation
+
+
+def _find_relation(graph: HeteroGraph, src_type: str, dst_type: str) -> Tuple[Relation, bool]:
+    """Locate a relation connecting ``src_type -> dst_type`` (maybe reversed)."""
+    for relation in graph.relations:
+        if relation[0] == src_type and relation[2] == dst_type:
+            return relation, False
+    for relation in graph.relations:
+        if relation[0] == dst_type and relation[2] == src_type:
+            return relation, True
+    raise KeyError(f"no relation between {src_type!r} and {dst_type!r}")
+
+
+def metapath_adjacency(graph: HeteroGraph, metapath: Sequence[str],
+                       binarize: bool = False) -> sp.csr_matrix:
+    """Adjacency of the metapath-induced graph over the endpoint type.
+
+    ``metapath`` is a sequence of node types, e.g. ``("movie", "actor",
+    "movie")``.  Steps are resolved against the graph's relations in either
+    direction.  The diagonal (a node reaching itself through the path) is
+    removed.
+    """
+    if len(metapath) < 2:
+        raise ValueError("a metapath needs at least two node types")
+    if metapath[0] != metapath[-1]:
+        raise ValueError("metapath must start and end at the same node type "
+                         f"(got {metapath[0]!r} .. {metapath[-1]!r})")
+    product: Optional[sp.csr_matrix] = None
+    for src_type, dst_type in zip(metapath[:-1], metapath[1:]):
+        relation, reversed_ = _find_relation(graph, src_type, dst_type)
+        step = graph.biadjacency(relation)
+        if reversed_:
+            step = step.T.tocsr()
+        product = step if product is None else (product @ step).tocsr()
+    assert product is not None
+    product = product.tolil()
+    product.setdiag(0)
+    product = product.tocsr()
+    product.eliminate_zeros()
+    if binarize:
+        product.data[:] = 1.0
+    return product
+
+
+def compose_biadjacency(graph: HeteroGraph, type_chain: Sequence[str],
+                        binarize: bool = True) -> sp.csr_matrix:
+    """Chain biadjacency matrices along ``type_chain`` (need not be cyclic).
+
+    Returns the reachability matrix from ``type_chain[0]`` nodes to
+    ``type_chain[-1]`` nodes; with ``binarize`` the entries are 0/1 rather
+    than path counts (keeps products from blowing up numerically).
+    """
+    if len(type_chain) < 2:
+        raise ValueError("need at least two node types to compose")
+    product: Optional[sp.csr_matrix] = None
+    for src_type, dst_type in zip(type_chain[:-1], type_chain[1:]):
+        relation, reversed_ = _find_relation(graph, src_type, dst_type)
+        step = graph.biadjacency(relation)
+        if reversed_:
+            step = step.T.tocsr()
+        product = step if product is None else (product @ step).tocsr()
+        if binarize:
+            product.data[:] = 1.0
+    assert product is not None
+    return product
+
+
+def metapath_instances(graph: HeteroGraph, metapath: Sequence[str],
+                       cap_per_center: int,
+                       rng: np.random.Generator
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Enumerate (endpoint, center, endpoint) triples of a cyclic metapath.
+
+    A metapath instance in MAGNN is a concrete node sequence; we reduce it
+    to its two endpoints plus the *center-type* node (APA → A,P,A; APTPA →
+    A,T,A reached through papers), which preserves the content of the most
+    structurally informative intermediate node while keeping enumeration
+    tractable.  Per center node, at most ``cap_per_center`` ordered pairs
+    are kept (uniformly subsampled).
+
+    Returns global-id arrays ``(src_endpoint, center, dst_endpoint)``.
+    """
+    if metapath[0] != metapath[-1]:
+        raise ValueError("metapath must be cyclic")
+    center_pos = len(metapath) // 2
+    center_type = metapath[center_pos]
+    reach = compose_biadjacency(graph, metapath[:center_pos + 1]).tocsc()
+    src_off = graph.offset_of(metapath[0])
+    center_off = graph.offset_of(center_type)
+    us, ms, vs = [], [], []
+    for center_local in range(reach.shape[1]):
+        begin, end = reach.indptr[center_local], reach.indptr[center_local + 1]
+        endpoints = reach.indices[begin:end]
+        if endpoints.size == 0:
+            continue
+        grid_u = np.repeat(endpoints, endpoints.size)
+        grid_v = np.tile(endpoints, endpoints.size)
+        keep = grid_u != grid_v
+        grid_u, grid_v = grid_u[keep], grid_v[keep]
+        if grid_u.size > cap_per_center:
+            picks = rng.choice(grid_u.size, size=cap_per_center, replace=False)
+            grid_u, grid_v = grid_u[picks], grid_v[picks]
+        us.append(grid_u)
+        ms.append(np.full(grid_u.size, center_local, dtype=np.int64))
+        vs.append(grid_v)
+    if not us:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    return (np.concatenate(us) + src_off,
+            np.concatenate(ms) + center_off,
+            np.concatenate(vs) + src_off)
+
+
+def metapath_edge_list(graph: HeteroGraph, metapath: Sequence[str],
+                       binarize: bool = True) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Edge list ``(src_local, dst_local, weight)`` of the metapath graph."""
+    adj = metapath_adjacency(graph, metapath, binarize=binarize).tocoo()
+    return adj.row.astype(np.int64), adj.col.astype(np.int64), adj.data
+
+
+DEFAULT_METAPATHS: Dict[str, List[Tuple[str, ...]]] = {
+    # Same metapath families the paper's models use on the HGB datasets.
+    "dblp": [("author", "paper", "author"),
+             ("author", "paper", "term", "paper", "author"),
+             ("author", "paper", "venue", "paper", "author")],
+    "acm": [("paper", "author", "paper"),
+            ("paper", "subject", "paper")],
+    "imdb": [("movie", "actor", "movie"),
+             ("movie", "director", "movie"),
+             ("movie", "keyword", "movie")],
+    "lastfm": [("user", "artist", "user"),
+               ("artist", "user", "artist"),
+               ("artist", "tag", "artist")],
+}
+
+
+__all__ = ["metapath_adjacency", "metapath_edge_list", "DEFAULT_METAPATHS"]

@@ -1,0 +1,57 @@
+"""Spectral modularity utilities (paper Eq. 9-11).
+
+The auxiliary clustering task maximizes the relaxed spectral modularity
+
+    ``Q = Tr(C^T B C) / (2|E|)``,   ``B = A - d d^T / (2|E|)``
+
+where ``C`` is an ``(N, M)`` soft cluster-assignment matrix.  ``B`` is dense,
+so it is never materialized; instead the two terms are evaluated as
+
+    ``Tr(C^T A C) = sum_ij A_ij (C_i · C_j)``   (sparse)
+    ``Tr(C^T d d^T C) = || d^T C ||²``          (rank one)
+
+This module holds the *data-level* (numpy) reference used by tests; the
+differentiable twin that participates in training lives in
+:mod:`repro.core.clustering`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def modularity_value(adj: sp.spmatrix, assignment: np.ndarray) -> float:
+    """Relaxed modularity ``Tr(C^T B C) / 2|E|`` for a soft assignment."""
+    adj = adj.tocsr()
+    degree = np.asarray(adj.sum(axis=1)).ravel()
+    two_e = degree.sum()
+    if two_e == 0:
+        return 0.0
+    term_adj = float(np.sum((adj @ assignment) * assignment))
+    dc = degree @ assignment
+    term_deg = float(dc @ dc) / two_e
+    return (term_adj - term_deg) / two_e
+
+
+def hard_modularity(adj: sp.spmatrix, labels: np.ndarray) -> float:
+    """Classic Newman modularity of a hard partition (sanity baseline)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    num_clusters = int(labels.max()) + 1 if labels.size else 0
+    assignment = np.zeros((labels.shape[0], num_clusters))
+    assignment[np.arange(labels.shape[0]), labels] = 1.0
+    return modularity_value(adj, assignment)
+
+
+def collapse_regularization(assignment: np.ndarray) -> float:
+    """DMoN collapse term ``sqrt(M)/N * ||sum_i C_i||_F - 1``.
+
+    Zero when clusters are perfectly balanced; approaches ``sqrt(M) - 1``
+    when every node collapses into a single cluster.
+    """
+    n, m = assignment.shape
+    column_mass = assignment.sum(axis=0)
+    return float(np.sqrt(m) / n * np.linalg.norm(column_mass) - 1.0)
+
+
+__all__ = ["modularity_value", "hard_modularity", "collapse_regularization"]

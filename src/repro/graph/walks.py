@@ -1,0 +1,133 @@
+"""Random walks over heterogeneous graphs.
+
+Two flavours are needed by the baselines:
+
+* uniform walks on the homogeneous view (HetGNN-style context sampling),
+* metapath-guided walks (metapath2vec pre-learning inside HGNN-AC).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from .hetero import HeteroGraph
+
+
+def _adjacency_lists(adj: sp.csr_matrix) -> tuple[np.ndarray, np.ndarray]:
+    return adj.indptr, adj.indices
+
+
+def uniform_random_walks(graph: HeteroGraph, starts: np.ndarray, length: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Uniform neighbor walks of ``length`` steps from each start (global ids).
+
+    Dead ends repeat the current node, so the output is always rectangular:
+    shape ``(num_starts, length + 1)``.
+    """
+    adj = graph.adjacency(symmetric=True)
+    indptr, indices = _adjacency_lists(adj)
+    starts = np.asarray(starts, dtype=np.int64)
+    walks = np.empty((starts.shape[0], length + 1), dtype=np.int64)
+    walks[:, 0] = starts
+    current = starts.copy()
+    for step in range(1, length + 1):
+        begins = indptr[current]
+        ends = indptr[current + 1]
+        spans = ends - begins
+        has_neighbors = spans > 0
+        offsets = np.zeros_like(current)
+        if has_neighbors.any():
+            offsets[has_neighbors] = (
+                rng.random(int(has_neighbors.sum())) * spans[has_neighbors]
+            ).astype(np.int64)
+        next_nodes = current.copy()
+        next_nodes[has_neighbors] = indices[(begins + offsets)[has_neighbors]]
+        walks[:, step] = next_nodes
+        current = next_nodes
+    return walks
+
+
+def metapath_random_walks(graph: HeteroGraph, metapath: Sequence[str],
+                          walks_per_node: int, walk_length: int,
+                          rng: np.random.Generator) -> List[np.ndarray]:
+    """Metapath-guided walks in global ids (metapath2vec sampling).
+
+    The metapath is cycled: ``A-P-A`` with ``walk_length=4`` produces node
+    type sequence ``A P A P A``.  Walks that hit a node with no neighbor of
+    the required next type are truncated.
+    """
+    # Pre-build typed adjacency lists keyed by (src_type, dst_type).
+    typed: Dict[tuple, sp.csr_matrix] = {}
+    for relation in graph.relations:
+        src_type, _, dst_type = relation
+        bi = graph.biadjacency(relation)
+        key = (src_type, dst_type)
+        typed[key] = (typed[key] + bi).tocsr() if key in typed else bi
+        rkey = (dst_type, src_type)
+        bi_t = bi.T.tocsr()
+        typed[rkey] = (typed[rkey] + bi_t).tocsr() if rkey in typed else bi_t
+
+    if metapath[0] != metapath[-1]:
+        raise ValueError("metapath walks require a cyclic metapath "
+                         f"(got {metapath[0]!r} .. {metapath[-1]!r})")
+    period = len(metapath) - 1
+    start_type = metapath[0]
+    starts = np.arange(graph.num_nodes_of(start_type), dtype=np.int64)
+    offsets = {name: graph.offset_of(name) for name in graph.node_types}
+    walks: List[np.ndarray] = []
+    for _ in range(walks_per_node):
+        for start_local in starts:
+            walk = [offsets[start_type] + int(start_local)]
+            current_local = int(start_local)
+            for step in range(walk_length):
+                src_type = metapath[step % period]
+                dst_type = metapath[(step + 1) % period] if (step + 1) % period != 0 \
+                    else metapath[0]
+                key = (src_type, dst_type)
+                if key not in typed:
+                    break
+                adj = typed[key]
+                begin, end = adj.indptr[current_local], adj.indptr[current_local + 1]
+                if end == begin:
+                    break
+                pick = begin + int(rng.random() * (end - begin))
+                current_local = int(adj.indices[pick])
+                walk.append(offsets[dst_type] + current_local)
+            if len(walk) > 1:
+                walks.append(np.asarray(walk, dtype=np.int64))
+    return walks
+
+
+def typed_neighbor_sample(graph: HeteroGraph, node_type: str, budget: int,
+                          rng: np.random.Generator) -> Dict[str, np.ndarray]:
+    """For each node of ``node_type``, sample up to ``budget`` neighbors per type.
+
+    Returns a mapping ``neighbor_type -> (n_nodes, budget)`` global-id array
+    where missing samples repeat the node's own id (acting as padding that
+    aggregators treat as a no-op self message).  Used by the simplified
+    HetGNN encoder.
+    """
+    adj = graph.adjacency(symmetric=True)
+    type_index = graph.node_type_index
+    info = graph.info(node_type)
+    out: Dict[str, np.ndarray] = {}
+    for neighbor_type_id, neighbor_type in enumerate(graph.node_types):
+        sampled = np.empty((info.count, budget), dtype=np.int64)
+        for row, global_id in enumerate(range(info.offset, info.stop)):
+            begin, end = adj.indptr[global_id], adj.indptr[global_id + 1]
+            neighbors = adj.indices[begin:end]
+            neighbors = neighbors[type_index[neighbors] == neighbor_type_id]
+            if neighbors.size == 0:
+                sampled[row, :] = global_id
+            elif neighbors.size >= budget:
+                sampled[row, :] = rng.choice(neighbors, size=budget, replace=False)
+            else:
+                sampled[row, :] = rng.choice(neighbors, size=budget, replace=True)
+        out[neighbor_type] = sampled
+    return out
+
+
+__all__ = ["uniform_random_walks", "metapath_random_walks", "typed_neighbor_sample"]

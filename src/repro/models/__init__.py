@@ -1,0 +1,45 @@
+"""``repro.models`` — the heterogeneous GNN zoo of the paper's baselines."""
+
+from .base import BaseHGNN, edge_arrays_with_self_loops
+from .fastgtn import FastGTN
+from .gat import GAT, GATLayer
+from .gatne import GATNE
+from .gcn import GCN
+from .han import HAN
+from .hetgnn import HetGNN
+from .hetsann import HetSANN
+from .hgca import HGCA
+from .hgt import HGT
+from .magnn import MAGNN
+from .mlp import MLP
+from .registry import (
+    AUTOAC_BACKBONES,
+    FULL_GRAPH_MODELS,
+    MODEL_REGISTRY,
+    build_model,
+)
+from .semantic import SemanticAttention
+from .simple_hgn import SimpleHGN
+
+__all__ = [
+    "BaseHGNN",
+    "edge_arrays_with_self_loops",
+    "MLP",
+    "GCN",
+    "GAT",
+    "GATLayer",
+    "SimpleHGN",
+    "HAN",
+    "MAGNN",
+    "HGT",
+    "HetSANN",
+    "FastGTN",
+    "HetGNN",
+    "HGCA",
+    "GATNE",
+    "SemanticAttention",
+    "MODEL_REGISTRY",
+    "FULL_GRAPH_MODELS",
+    "AUTOAC_BACKBONES",
+    "build_model",
+]

@@ -1,0 +1,72 @@
+"""Shared plumbing for the heterogeneous GNN zoo.
+
+Every model consumes the global initial embedding ``h0`` (``(N, hidden)``,
+produced by a feature builder) and exposes:
+
+* ``encode(h0)`` — node representations; ``(N, d)`` for full-graph models,
+  ``(N_target, d)`` for metapath models that only embed the target type;
+* ``forward(h0)`` — classification logits over the target type.
+
+Link prediction uses ``encode`` directly (only full-graph models qualify).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..tensor import Linear, Module, Tensor
+
+
+class BaseHGNN(Module):
+    """Base heterogeneous GNN: encode + target-type classifier head."""
+
+    #: whether ``encode`` covers all global nodes (needed for link prediction)
+    full_graph: bool = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 out_dim: int) -> None:
+        super().__init__()
+        self.dataset = dataset
+        self.hidden_dim = hidden_dim
+        self.out_dim = out_dim
+        self.classifier = Linear(out_dim, dataset.num_classes)
+
+    # ------------------------------------------------------------------
+    def encode(self, h0: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def target_embeddings(self, h0: Tensor) -> Tensor:
+        """Representations of the target type, shape ``(N_target, out_dim)``."""
+        encoded = self.encode(h0)
+        if self.full_graph:
+            return encoded[self.dataset.graph.global_ids(self.dataset.target_type)]
+        return encoded
+
+    def forward(self, h0: Tensor) -> Tensor:
+        return self.classifier(self.target_embeddings(h0))
+
+
+def edge_arrays_with_self_loops(
+    dataset: HeteroDataset,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Global ``(src, dst, etype)`` arrays plus a self-loop pseudo-relation.
+
+    Self loops get their own edge-type id (``num_relations``), the HGB
+    convention SimpleHGN relies on.  Returns ``(src, dst, etype,
+    num_edge_types)``.
+    """
+    graph = dataset.graph
+    src, dst, etype = graph.all_edges_global()
+    loops = np.arange(graph.num_nodes, dtype=np.int64)
+    src = np.concatenate([src, loops])
+    dst = np.concatenate([dst, loops])
+    etype = np.concatenate([etype,
+                            np.full(graph.num_nodes, graph.num_relations,
+                                    dtype=np.int64)])
+    return src, dst, etype, graph.num_relations + 1
+
+
+__all__ = ["BaseHGNN", "edge_arrays_with_self_loops"]

@@ -1,0 +1,94 @@
+"""GAT (Veličković et al.) on the homogenized heterogeneous graph.
+
+Multi-head additive attention over the global edge list (self loops
+included), matching the HGB configuration (LeakyReLU slope ``s`` is a
+hyperparameter per dataset in the paper's Appendix B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..tensor import (
+    Dropout,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+    elu,
+    gather_rows,
+    init,
+    leaky_relu,
+    scatter_add,
+    segment_softmax,
+)
+from .base import BaseHGNN, edge_arrays_with_self_loops
+
+
+class GATLayer(Module):
+    """One multi-head GAT layer over a fixed global edge list."""
+
+    def __init__(self, in_dim: int, out_dim: int, num_heads: int,
+                 src: np.ndarray, dst: np.ndarray, num_nodes: int,
+                 negative_slope: float = 0.2,
+                 attn_dropout: float = 0.3) -> None:
+        super().__init__()
+        if out_dim % num_heads != 0:
+            raise ValueError("out_dim must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.src, self.dst, self.num_nodes = src, dst, num_nodes
+        self.negative_slope = negative_slope
+        self.proj = Linear(in_dim, out_dim, bias=False)
+        self.attn_src = Parameter(init.xavier_uniform((num_heads, self.head_dim)),
+                                  name="attn_src")
+        self.attn_dst = Parameter(init.xavier_uniform((num_heads, self.head_dim)),
+                                  name="attn_dst")
+        self.attn_dropout = Dropout(attn_dropout)
+
+    def forward(self, h: Tensor) -> Tensor:
+        n = self.num_nodes
+        projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
+        score_src = (projected * self.attn_src).sum(axis=-1)  # (N, H)
+        score_dst = (projected * self.attn_dst).sum(axis=-1)
+        edge_score = leaky_relu(
+            gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst),
+            self.negative_slope,
+        )
+        alpha = segment_softmax(edge_score, self.dst, n)  # (E, H)
+        alpha = self.attn_dropout(alpha)
+        messages = gather_rows(projected, self.src) * alpha.reshape(-1, self.num_heads, 1)
+        out = scatter_add(messages, self.dst, n)
+        return out.reshape(n, self.num_heads * self.head_dim)
+
+
+class GAT(BaseHGNN):
+    full_graph = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
+                 out_dim: int = 64, num_layers: int = 2, num_heads: int = 4,
+                 negative_slope: float = 0.05, dropout: float = 0.5) -> None:
+        super().__init__(dataset, hidden_dim, out_dim)
+        src, dst, _, _ = edge_arrays_with_self_loops(dataset)
+        n = dataset.graph.num_nodes
+        self.num_layers = num_layers
+        dims = [hidden_dim] * num_layers + [out_dim]
+        self.layers = ModuleList([
+            GATLayer(dims[i], dims[i + 1], num_heads, src, dst, n,
+                     negative_slope=negative_slope)
+            for i in range(num_layers)
+        ])
+        self.dropout = Dropout(dropout)
+
+    def encode(self, h0: Tensor) -> Tensor:
+        h = h0
+        for index, layer in enumerate(self.layers):
+            h = layer(self.dropout(h))
+            if index < self.num_layers - 1:
+                h = elu(h)
+        return h
+
+
+__all__ = ["GAT", "GATLayer"]

@@ -1,0 +1,71 @@
+"""GATNE (Cen et al., KDD'19) — multiplex network embedding, simplified.
+
+The published GATNE-T learns a base embedding plus per-edge-type embeddings
+aggregated from neighbors and combined with self-attention, trained by
+heterogeneous skip-gram over random walks.  Substitution (recorded in
+DESIGN.md): the same base + per-relation aggregated edge embeddings with
+self-attention, but trained directly by the link-prediction BCE objective
+of the harness (the walk-based pretext only matters at web scale).  Node
+attributes are ignored, as in GATNE-T.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..datasets import HeteroDataset
+from ..graph import row_normalized_adjacency
+from ..tensor import (
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+    init,
+    softmax,
+    spmm,
+    stack,
+    tanh,
+)
+from .base import BaseHGNN
+
+
+class GATNE(BaseHGNN):
+    full_graph = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
+                 out_dim: int = 64, edge_dim: int = 16,
+                 attn_dim: int = 16) -> None:
+        super().__init__(dataset, hidden_dim, out_dim)
+        graph = dataset.graph
+        n = graph.num_nodes
+        self.base = Parameter(init.normal((n, out_dim), std=0.1), name="base")
+        self.edge_embeds = ModuleList()
+        self.rel_adjs = []
+        for relation in graph.relations:
+            pairs = graph.edges_global(relation)
+            adj = sp.coo_matrix(
+                (np.ones(pairs.shape[1]), (pairs[1], pairs[0])), shape=(n, n)
+            ).tocsr()
+            self.rel_adjs.append(row_normalized_adjacency(adj))
+        self.num_rel = len(self.rel_adjs)
+        self.edge_table = Parameter(init.normal((n, edge_dim), std=0.1),
+                                    name="edge_table")
+        self.attn_w = Parameter(init.xavier_uniform((edge_dim, attn_dim)),
+                                name="attn_w")
+        self.attn_q = Parameter(init.xavier_uniform((attn_dim, 1)),
+                                name="attn_q")
+        self.out_transform = Linear(edge_dim, out_dim, bias=False)
+
+    def encode(self, h0: Tensor) -> Tensor:
+        """Embeddings ``base + W^T attn-combined relation views`` (ignores h0)."""
+        views = [spmm(adj, self.edge_table) for adj in self.rel_adjs]
+        stacked = stack(views, axis=1)  # (N, R, edge_dim)
+        scores = tanh(stacked @ self.attn_w) @ self.attn_q  # (N, R, 1)
+        weights = softmax(scores.reshape(-1, self.num_rel), axis=-1)
+        combined = (stacked * weights.reshape(-1, self.num_rel, 1)).sum(axis=1)
+        return self.base + self.out_transform(combined)
+
+
+__all__ = ["GATNE"]

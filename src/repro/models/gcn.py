@@ -1,0 +1,40 @@
+"""GCN (Kipf & Welling) on the homogenized heterogeneous graph.
+
+The HGB benchmark's strongest "simple" baseline: node types are ignored,
+messages flow over the symmetric renormalized adjacency.
+"""
+
+from __future__ import annotations
+
+from ..datasets import HeteroDataset
+from ..graph import sym_normalized_adjacency
+from ..tensor import Dropout, Linear, ModuleList, Tensor, relu, spmm
+from .base import BaseHGNN
+
+
+class GCN(BaseHGNN):
+    full_graph = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
+                 out_dim: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5) -> None:
+        super().__init__(dataset, hidden_dim, out_dim)
+        self.num_layers = num_layers
+        self.adj = sym_normalized_adjacency(dataset.graph.adjacency(),
+                                            self_loops=True)
+        dims = [hidden_dim] * num_layers + [out_dim]
+        self.layers = ModuleList([
+            Linear(dims[i], dims[i + 1]) for i in range(num_layers)
+        ])
+        self.dropout = Dropout(dropout)
+
+    def encode(self, h0: Tensor) -> Tensor:
+        h = h0
+        for index, layer in enumerate(self.layers):
+            h = spmm(self.adj, layer(self.dropout(h)))
+            if index < self.num_layers - 1:
+                h = relu(h)
+        return h
+
+
+__all__ = ["GCN"]

@@ -1,0 +1,33 @@
+"""Structure-free MLP baseline (sanity floor for every dataset)."""
+
+from __future__ import annotations
+
+from ..datasets import HeteroDataset
+from ..tensor import Dropout, Linear, ModuleList, Tensor, relu
+from .base import BaseHGNN
+
+
+class MLP(BaseHGNN):
+    full_graph = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
+                 out_dim: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5) -> None:
+        super().__init__(dataset, hidden_dim, out_dim)
+        dims = [hidden_dim] * num_layers + [out_dim]
+        self.layers = ModuleList([
+            Linear(dims[i], dims[i + 1]) for i in range(num_layers)
+        ])
+        self.dropout = Dropout(dropout)
+        self.num_layers = num_layers
+
+    def encode(self, h0: Tensor) -> Tensor:
+        h = h0
+        for index, layer in enumerate(self.layers):
+            h = layer(self.dropout(h))
+            if index < self.num_layers - 1:
+                h = relu(h)
+        return h
+
+
+__all__ = ["MLP"]

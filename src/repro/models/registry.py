@@ -1,0 +1,57 @@
+"""Model registry: name → constructor, with per-model default capabilities."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..datasets import HeteroDataset
+from .base import BaseHGNN
+from .fastgtn import FastGTN
+from .gat import GAT
+from .gatne import GATNE
+from .gcn import GCN
+from .han import HAN
+from .hetgnn import HetGNN
+from .hetsann import HetSANN
+from .hgca import HGCA
+from .hgt import HGT
+from .magnn import MAGNN
+from .mlp import MLP
+from .simple_hgn import SimpleHGN
+
+MODEL_REGISTRY: Dict[str, Callable[..., BaseHGNN]] = {
+    "mlp": MLP,
+    "gcn": GCN,
+    "gat": GAT,
+    "simple_hgn": SimpleHGN,
+    "han": HAN,
+    "magnn": MAGNN,
+    "hgt": HGT,
+    "hetsann": HetSANN,
+    "gtn": FastGTN,
+    "hetgnn": HetGNN,
+    "hgca": HGCA,
+    "gatne": GATNE,
+}
+
+#: models whose ``encode`` spans all nodes (usable for link prediction)
+FULL_GRAPH_MODELS: List[str] = [
+    name for name, cls in MODEL_REGISTRY.items() if cls.full_graph
+]
+
+#: the two backbones AutoAC is combined with in the paper
+AUTOAC_BACKBONES: List[str] = ["magnn", "simple_hgn"]
+
+
+def build_model(name: str, dataset: HeteroDataset, hidden_dim: int = 64,
+                out_dim: int = 64, **kwargs) -> BaseHGNN:
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; "
+                       f"available: {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[key](dataset, hidden_dim=hidden_dim,
+                               out_dim=out_dim, **kwargs)
+
+
+__all__ = ["MODEL_REGISTRY", "FULL_GRAPH_MODELS", "AUTOAC_BACKBONES",
+           "build_model"]

@@ -1,0 +1,38 @@
+"""Semantic (inter-metapath) attention shared by HAN and MAGNN.
+
+Given per-metapath embeddings ``z_p`` of the same node set, computes
+``w_p = mean_v q^T tanh(W z_p[v] + b)``, softmaxes over metapaths, and
+returns the weighted combination (Wang et al., WWW'19, Eq. 7-9).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..tensor import Linear, Module, Parameter, Tensor, init, softmax, stack, tanh
+
+
+class SemanticAttention(Module):
+    def __init__(self, in_dim: int, attn_dim: int = 128) -> None:
+        super().__init__()
+        self.transform = Linear(in_dim, attn_dim)
+        self.query = Parameter(init.xavier_uniform((attn_dim, 1)), name="query")
+
+    def forward(self, per_path: List[Tensor]) -> Tensor:
+        if not per_path:
+            raise ValueError("semantic attention needs at least one metapath")
+        if len(per_path) == 1:
+            return per_path[0]
+        scores = []
+        for z in per_path:
+            score = (tanh(self.transform(z)) @ self.query).mean()  # scalar
+            scores.append(score)
+        weights = softmax(stack(scores).reshape(1, -1), axis=-1)  # (1, P)
+        combined = None
+        for index, z in enumerate(per_path):
+            term = z * weights[:, index].reshape(1, 1)
+            combined = term if combined is None else combined + term
+        return combined
+
+
+__all__ = ["SemanticAttention"]

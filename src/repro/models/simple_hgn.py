@@ -1,0 +1,125 @@
+"""SimpleHGN (Lv et al., KDD'21) — the HGB SOTA and AutoAC's main backbone.
+
+GAT-style attention extended with (1) learnable edge-type embeddings inside
+the attention logits, (2) node-level residual connections, and (3) an edge
+attention residual ``alpha = (1-beta) * alpha + beta * alpha_prev`` carried
+across layers.  Final-layer outputs are L2-normalized as in the HGB
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..tensor import (
+    Dropout,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Tensor,
+    elu,
+    gather_rows,
+    init,
+    l2_normalize,
+    leaky_relu,
+    scatter_add,
+    segment_softmax,
+)
+from .base import BaseHGNN, edge_arrays_with_self_loops
+
+
+class SimpleHGNLayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, num_heads: int,
+                 edge_dim: int, num_edge_types: int,
+                 src: np.ndarray, dst: np.ndarray, etype: np.ndarray,
+                 num_nodes: int, negative_slope: float = 0.05,
+                 beta: float = 0.05, attn_dropout: float = 0.3,
+                 residual: bool = True) -> None:
+        super().__init__()
+        if out_dim % num_heads != 0:
+            raise ValueError("out_dim must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.head_dim = out_dim // num_heads
+        self.src, self.dst, self.etype = src, dst, etype
+        self.num_nodes = num_nodes
+        self.negative_slope = negative_slope
+        self.beta = beta
+        self.proj = Linear(in_dim, out_dim, bias=False)
+        self.edge_table = Parameter(
+            init.xavier_uniform((num_edge_types, num_heads * edge_dim)),
+            name="edge_table")
+        self.edge_dim = edge_dim
+        self.attn_src = Parameter(init.xavier_uniform((num_heads, self.head_dim)),
+                                  name="attn_src")
+        self.attn_dst = Parameter(init.xavier_uniform((num_heads, self.head_dim)),
+                                  name="attn_dst")
+        self.attn_edge = Parameter(init.xavier_uniform((num_heads, edge_dim)),
+                                   name="attn_edge")
+        self.residual_proj = Linear(in_dim, out_dim, bias=False) if residual else None
+        self.attn_dropout = Dropout(attn_dropout)
+
+    def forward(self, h: Tensor, alpha_prev: Optional[Tensor] = None):
+        n = self.num_nodes
+        projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
+        score_src = (projected * self.attn_src).sum(axis=-1)
+        score_dst = (projected * self.attn_dst).sum(axis=-1)
+        edge_embed = gather_rows(self.edge_table, self.etype).reshape(
+            -1, self.num_heads, self.edge_dim)
+        score_edge = (edge_embed * self.attn_edge).sum(axis=-1)  # (E, H)
+        logits = leaky_relu(
+            gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst)
+            + score_edge,
+            self.negative_slope,
+        )
+        alpha = segment_softmax(logits, self.dst, n)
+        if alpha_prev is not None and self.beta > 0:
+            alpha = alpha * (1.0 - self.beta) + alpha_prev * self.beta
+        alpha = self.attn_dropout(alpha)
+        messages = gather_rows(projected, self.src) * alpha.reshape(
+            -1, self.num_heads, 1)
+        out = scatter_add(messages, self.dst, n).reshape(
+            n, self.num_heads * self.head_dim)
+        if self.residual_proj is not None:
+            out = out + self.residual_proj(h)
+        return out, alpha
+
+
+class SimpleHGN(BaseHGNN):
+    full_graph = True
+
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
+                 out_dim: int = 64, num_layers: int = 2, num_heads: int = 4,
+                 edge_dim: int = 16, negative_slope: float = 0.05,
+                 beta: float = 0.05, dropout: float = 0.5,
+                 normalize_output: bool = True) -> None:
+        super().__init__(dataset, hidden_dim, out_dim)
+        src, dst, etype, num_edge_types = edge_arrays_with_self_loops(dataset)
+        n = dataset.graph.num_nodes
+        self.num_layers = num_layers
+        self.normalize_output = normalize_output
+        dims = [hidden_dim] * num_layers + [out_dim]
+        self.layers = ModuleList([
+            SimpleHGNLayer(dims[i], dims[i + 1], num_heads, edge_dim,
+                           num_edge_types, src, dst, etype, n,
+                           negative_slope=negative_slope, beta=beta)
+            for i in range(num_layers)
+        ])
+        self.dropout = Dropout(dropout)
+
+    def encode(self, h0: Tensor) -> Tensor:
+        h = h0
+        alpha = None
+        for index, layer in enumerate(self.layers):
+            h, alpha = layer(self.dropout(h), alpha)
+            if index < self.num_layers - 1:
+                h = elu(h)
+        if self.normalize_output:
+            h = l2_normalize(h, axis=-1)
+        return h
+
+
+__all__ = ["SimpleHGN", "SimpleHGNLayer"]

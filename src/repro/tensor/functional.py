@@ -1,0 +1,247 @@
+"""Neural-network functional operations built on the autograd primitives.
+
+Everything here composes the primitives in :mod:`repro.tensor.tensor` (so
+gradients come for free) or defines a fused primitive with an explicit
+backward where stability or speed demands it (softmax, losses, dropout,
+segment softmax).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .random import get_rng
+from .tensor import (
+    Tensor,
+    ensure_tensor,
+    gather_rows,
+    is_grad_enabled,
+    scatter_add,
+)
+
+
+def _needs_grad(*tensors: Tensor) -> bool:
+    return is_grad_enabled() and any(t.requires_grad for t in tensors)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax with a fused backward."""
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor(out_data, requires_grad=_needs_grad(x))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x.accumulate_grad(out_data * (grad - dot))
+        out._rig((x,), backward)
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    out = Tensor(out_data, requires_grad=_needs_grad(x))
+    if out.requires_grad:
+        soft = np.exp(out_data)
+        def backward(grad: np.ndarray) -> None:
+            x.accumulate_grad(grad - soft * grad.sum(axis=axis, keepdims=True))
+        out._rig((x,), backward)
+    return out
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Multi-class cross entropy on integer targets ``(N,)``."""
+    logits = ensure_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=-1)
+    picked = gather_rows(log_probs.reshape(-1),
+                         targets + np.arange(n) * logits.shape[-1])
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     reduction: str = "mean") -> Tensor:
+    """Stable BCE: ``max(x,0) - x*z + log1p(exp(-|x|))`` with fused backward."""
+    logits = ensure_tensor(logits)
+    z = np.asarray(targets, dtype=np.float64)
+    x = logits.data
+    loss_data = np.maximum(x, 0.0) - x * z + np.log1p(np.exp(-np.abs(x)))
+    if reduction == "mean":
+        out_data = loss_data.mean()
+    elif reduction == "sum":
+        out_data = loss_data.sum()
+    else:
+        out_data = loss_data
+    out = Tensor(out_data, requires_grad=_needs_grad(logits))
+    if out.requires_grad:
+        sig = 0.5 * (1.0 + np.tanh(0.5 * x))
+        def backward(grad: np.ndarray) -> None:
+            local = sig - z
+            if reduction == "mean":
+                logits.accumulate_grad(grad * local / x.size)
+            elif reduction == "sum":
+                logits.accumulate_grad(grad * local)
+            else:
+                logits.accumulate_grad(grad * local)
+        out._rig((logits,), backward)
+    return out
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray,
+             reduction: str = "mean") -> Tensor:
+    """Negative log likelihood on precomputed log-probabilities."""
+    log_probs = ensure_tensor(log_probs)
+    targets = np.asarray(targets, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = gather_rows(log_probs.reshape(-1),
+                         targets + np.arange(n) * log_probs.shape[-1])
+    loss = -picked
+    if reduction == "mean":
+        return loss.mean()
+    if reduction == "sum":
+        return loss.sum()
+    return loss
+
+
+# ----------------------------------------------------------------------
+# Regularisation
+# ----------------------------------------------------------------------
+def dropout(x: Tensor, p: float, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return ensure_tensor(x)
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    x = ensure_tensor(x)
+    mask = (get_rng().random(x.shape) >= p) / (1.0 - p)
+    out = Tensor(x.data * mask, requires_grad=_needs_grad(x))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            x.accumulate_grad(grad * mask)
+        out._rig((x,), backward)
+    return out
+
+
+def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalize rows to unit L2 norm (composite, differentiable)."""
+    x = ensure_tensor(x)
+    squared = (x * x).sum(axis=axis, keepdims=True)
+    norm = (squared + eps) ** 0.5
+    return x / norm
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis (composite)."""
+    x = ensure_tensor(x)
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = (var + eps) ** -0.5
+    return centered * inv_std * weight + bias
+
+
+# ----------------------------------------------------------------------
+# Segment operations (per-destination-node softmax etc.)
+# ----------------------------------------------------------------------
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Alias of :func:`scatter_add` under its conventional name."""
+    return scatter_add(x, segment_ids, num_segments)
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments yield zeros."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    totals = scatter_add(x, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (totals.ndim - 1))
+    return totals * (1.0 / counts)
+
+
+def segment_max_data(x: np.ndarray, segment_ids: np.ndarray,
+                     num_segments: int) -> np.ndarray:
+    """Per-segment maximum of raw data (no gradient; used as a stability shift)."""
+    out = np.full((num_segments,) + x.shape[1:], -np.inf, dtype=x.dtype)
+    np.maximum.at(out, segment_ids, x)
+    return out
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax of ``scores`` within segments (e.g. edges grouped by dst node).
+
+    Implemented as a composite of autograd primitives; the per-segment max
+    shift is detached, which leaves gradients unchanged because softmax is
+    shift invariant within each segment.
+    """
+    scores = ensure_tensor(scores)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    shift = segment_max_data(scores.data, segment_ids, num_segments)
+    shift = np.where(np.isfinite(shift), shift, 0.0)
+    from .tensor import exp as t_exp  # local import avoids a cycle at module load
+
+    shifted = scores - Tensor(shift[segment_ids])
+    exp_scores = t_exp(shifted)
+    denom = scatter_add(exp_scores, segment_ids, num_segments)
+    denom_per_edge = gather_rows(denom, segment_ids)
+    return exp_scores / (denom_per_edge + 1e-16)
+
+
+def segment_weighted_mean(values: Tensor, weights: Tensor,
+                          segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """``sum_i w_i v_i / sum_i w_i`` per segment (both differentiable)."""
+    weighted = values * weights
+    num = scatter_add(weighted, segment_ids, num_segments)
+    den = scatter_add(weights, segment_ids, num_segments)
+    return num / (den + 1e-16)
+
+
+# ----------------------------------------------------------------------
+# Embeddings
+# ----------------------------------------------------------------------
+def embedding(table: Tensor, index: np.ndarray) -> Tensor:
+    """Look up rows of an embedding ``table`` (gradient scatters back)."""
+    return gather_rows(table, index)
+
+
+def one_hot(index: np.ndarray, num_classes: int) -> np.ndarray:
+    """Dense one-hot encoding as a plain array (constant, no gradient)."""
+    index = np.asarray(index, dtype=np.int64)
+    out = np.zeros((index.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(index.shape[0]), index] = 1.0
+    return out
+
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "nll_loss",
+    "dropout",
+    "l2_normalize",
+    "layer_norm",
+    "segment_sum",
+    "segment_mean",
+    "segment_max_data",
+    "segment_softmax",
+    "segment_weighted_mean",
+    "embedding",
+    "one_hot",
+]

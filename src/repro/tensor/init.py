@@ -1,0 +1,79 @@
+"""Weight initialization schemes (Glorot/Xavier, Kaiming/He, basics)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .random import get_rng
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)
+
+
+def constant(shape, value: float) -> np.ndarray:
+    return np.full(shape, value, dtype=np.float64)
+
+
+def uniform(shape, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    return get_rng().uniform(low, high, size=shape)
+
+
+def normal(shape, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    return get_rng().normal(mean, std, size=shape)
+
+
+def xavier_uniform(shape, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return get_rng().uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return get_rng().normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, negative_slope: float = 0.0) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return get_rng().uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, negative_slope: float = 0.0) -> np.ndarray:
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
+    std = gain / math.sqrt(fan_in)
+    return get_rng().normal(0.0, std, size=shape)
+
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "uniform",
+    "normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "kaiming_normal",
+]

@@ -1,0 +1,26 @@
+"""Central random-number generator for the tensor package.
+
+A single, reseedable ``numpy.random.Generator`` backs stochastic layers
+(dropout, negative sampling, random walks) so experiments are reproducible
+through :func:`repro.training.seed.set_seed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_RNG = np.random.default_rng(0)
+
+
+def get_rng() -> np.random.Generator:
+    """Return the process-wide generator used by stochastic tensor ops."""
+    return _RNG
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the process-wide generator."""
+    global _RNG
+    _RNG = np.random.default_rng(seed)
+
+
+__all__ = ["get_rng", "manual_seed"]

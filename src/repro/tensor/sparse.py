@@ -1,0 +1,39 @@
+"""Sparse-matrix support for the autograd engine.
+
+Heterogeneous GNNs multiply large, fixed adjacency matrices with dense
+feature tensors.  The adjacency is data (never optimized), so we only need
+the gradient with respect to the dense operand:
+
+    ``y = A @ x``  →  ``dL/dx = A.T @ dL/dy``.
+
+For attention models the per-edge coefficients *are* learned; those paths
+use the edge-list primitives in :mod:`repro.tensor.functional` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, ensure_tensor, is_grad_enabled
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Sparse ``matrix`` (constant) times dense ``x`` (differentiable)."""
+    x = ensure_tensor(x)
+    matrix = matrix.tocsr()
+    out = Tensor(matrix @ x.data, requires_grad=is_grad_enabled() and x.requires_grad)
+    if out.requires_grad:
+        matrix_t = matrix.T.tocsr()
+        def backward(grad: np.ndarray) -> None:
+            x.accumulate_grad(matrix_t @ grad)
+        out._rig((x,), backward)
+    return out
+
+
+def sparse_dense_matmul_data(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+    """Plain (non-differentiable) sparse × dense product."""
+    return matrix.tocsr() @ x
+
+
+__all__ = ["spmm", "sparse_dense_matmul_data"]

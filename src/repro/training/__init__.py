@@ -1,0 +1,45 @@
+"""``repro.training`` — trainers, metrics, early stopping, seeding."""
+
+from .early_stopping import EarlyStopping
+from .link_prediction import (
+    LinkPredConfig,
+    LinkPredResult,
+    LinkPredictionTask,
+    LinkPredictionTrainer,
+    LinkSplit,
+)
+from .metrics import (
+    accuracy,
+    confusion_counts,
+    macro_f1,
+    mean_reciprocal_rank,
+    micro_f1,
+    roc_auc,
+)
+from .seed import set_seed
+from .trainer import (
+    NodeClassificationTrainer,
+    TrainConfig,
+    TrainResult,
+    run_repeats,
+)
+
+__all__ = [
+    "EarlyStopping",
+    "set_seed",
+    "macro_f1",
+    "micro_f1",
+    "accuracy",
+    "roc_auc",
+    "mean_reciprocal_rank",
+    "confusion_counts",
+    "TrainConfig",
+    "TrainResult",
+    "NodeClassificationTrainer",
+    "run_repeats",
+    "LinkSplit",
+    "LinkPredictionTask",
+    "LinkPredConfig",
+    "LinkPredResult",
+    "LinkPredictionTrainer",
+]

@@ -1,0 +1,43 @@
+"""Patience-based early stopping with best-state snapshots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..tensor import Module
+
+
+class EarlyStopping:
+    """Track a score to maximize; snapshot module states at the best epoch."""
+
+    def __init__(self, patience: int, modules: List[Module]) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.modules = modules
+        self.best_score = -np.inf
+        self.best_epoch = -1
+        self.counter = 0
+        self._best_states: Optional[List[Dict[str, np.ndarray]]] = None
+
+    def step(self, score: float, epoch: int) -> bool:
+        """Record a new score; returns ``True`` when training should stop."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_epoch = epoch
+            self.counter = 0
+            self._best_states = [m.state_dict() for m in self.modules]
+            return False
+        self.counter += 1
+        return self.counter >= self.patience
+
+    def restore_best(self) -> None:
+        if self._best_states is None:
+            return
+        for module, state in zip(self.modules, self._best_states):
+            module.load_state_dict(state)
+
+
+__all__ = ["EarlyStopping"]

@@ -1,0 +1,108 @@
+"""Evaluation metrics matching the HGB protocol.
+
+Node classification reports macro/micro F1; link prediction reports
+ROC-AUC and MRR (mean reciprocal rank of each positive against the shared
+negative pool).  All implementations are pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class (true positives, false positives, false negatives)."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    tp = np.zeros(num_classes)
+    fp = np.zeros(num_classes)
+    fn = np.zeros(num_classes)
+    for cls in range(num_classes):
+        tp[cls] = np.sum((y_pred == cls) & (y_true == cls))
+        fp[cls] = np.sum((y_pred == cls) & (y_true != cls))
+        fn[cls] = np.sum((y_pred != cls) & (y_true == cls))
+    return tp, fp, fn
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> float:
+    tp, fp, fn = confusion_counts(y_true, y_pred, num_classes)
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp), where=(tp + fn) > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom,
+                   out=np.zeros_like(tp), where=denom > 0)
+    return float(f1.mean())
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> float:
+    tp, fp, fn = confusion_counts(y_true, y_pred, num_classes)
+    tp_sum, fp_sum, fn_sum = tp.sum(), fp.sum(), fn.sum()
+    if tp_sum == 0:
+        return 0.0
+    precision = tp_sum / (tp_sum + fp_sum)
+    recall = tp_sum / (tp_sum + fn_sum)
+    return float(2 * precision * recall / (precision + recall))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.size == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Binary ROC-AUC via the Mann-Whitney rank statistic (tie-aware)."""
+    labels = np.asarray(labels, dtype=bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    sorted_scores = scores[order]
+    # average ranks over ties
+    i = 0
+    position = 1.0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        avg_rank = (position + position + (j - i)) / 2.0
+        ranks[order[i:j + 1]] = avg_rank
+        position += j - i + 1
+        i = j + 1
+    pos_rank_sum = ranks[labels].sum()
+    return float((pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def mean_reciprocal_rank(pos_scores: np.ndarray, neg_scores: np.ndarray) -> float:
+    """MRR of each positive against the shared negative score pool.
+
+    Rank = 1 + number of negatives scoring strictly higher (+ half of the
+    ties, to be deterministic under score collisions).
+    """
+    pos_scores = np.asarray(pos_scores, dtype=np.float64)
+    neg_scores = np.sort(np.asarray(neg_scores, dtype=np.float64))
+    if pos_scores.size == 0:
+        return 0.0
+    higher = neg_scores.size - np.searchsorted(neg_scores, pos_scores, side="right")
+    equal = (np.searchsorted(neg_scores, pos_scores, side="right")
+             - np.searchsorted(neg_scores, pos_scores, side="left"))
+    ranks = 1.0 + higher + 0.5 * equal
+    return float(np.mean(1.0 / ranks))
+
+
+__all__ = [
+    "confusion_counts",
+    "macro_f1",
+    "micro_f1",
+    "accuracy",
+    "roc_auc",
+    "mean_reciprocal_rank",
+]

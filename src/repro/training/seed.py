@@ -1,0 +1,19 @@
+"""Global seeding for reproducible experiments."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..tensor import manual_seed
+
+
+def set_seed(seed: int) -> None:
+    """Seed Python, numpy's legacy RNG, and the tensor package generator."""
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    manual_seed(seed)
+
+
+__all__ = ["set_seed"]

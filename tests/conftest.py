@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny datasets and deterministic seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import get_dataset
+from repro.graph import HeteroGraph
+from repro.training import set_seed
+
+
+@pytest.fixture(autouse=True)
+def _seed_everything():
+    set_seed(1234)
+    yield
+
+
+@pytest.fixture(scope="session")
+def imdb_tiny():
+    return get_dataset("imdb", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def dblp_tiny():
+    return get_dataset("dblp", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def acm_tiny():
+    return get_dataset("acm", scale="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def lastfm_tiny():
+    return get_dataset("lastfm", scale="tiny", seed=0)
+
+
+@pytest.fixture()
+def toy_graph() -> HeteroGraph:
+    """A hand-built 3-type graph small enough to verify by eye.
+
+    movies: 0..3, actors: 0..2, tags: 0..1
+    movie-actor: (0,0) (0,1) (1,1) (2,2) (3,2)
+    movie-tag:   (0,0) (1,0) (2,1) (3,1)
+    """
+    edges = {
+        ("movie", "stars", "actor"): np.array([[0, 0, 1, 2, 3],
+                                               [0, 1, 1, 2, 2]]),
+        ("movie", "tagged", "tag"): np.array([[0, 1, 2, 3],
+                                              [0, 0, 1, 1]]),
+    }
+    graph = HeteroGraph({"movie": 4, "actor": 3, "tag": 2}, edges)
+    graph.add_reverse_relations()
+    return graph

@@ -1,0 +1,109 @@
+"""Tests for HGNN-AC and metapath2vec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    HGNNACFeatures,
+    Metapath2VecConfig,
+    prelearn_topology,
+    train_metapath2vec,
+)
+from repro.baselines.metapath2vec import _walk_pairs
+from repro.tensor import no_grad
+
+
+class TestWalkPairs:
+    def test_window_pairs(self):
+        walks = [np.array([1, 2, 3])]
+        pairs = _walk_pairs(walks, window=1)
+        keys = set(zip(pairs[0].tolist(), pairs[1].tolist()))
+        assert keys == {(1, 2), (2, 3), (2, 1), (3, 2)}
+
+    def test_empty_walks(self):
+        assert _walk_pairs([], window=2).shape == (2, 0)
+
+    def test_window_wider_than_walk(self):
+        walks = [np.array([1, 2])]
+        pairs = _walk_pairs(walks, window=5)
+        assert pairs.shape[1] == 2  # only offset 1 applies
+
+
+class TestMetapath2Vec:
+    def test_embedding_shape(self, imdb_tiny):
+        config = Metapath2VecConfig(embed_dim=8, walks_per_node=1,
+                                    walk_length=6, epochs=1)
+        emb = train_metapath2vec(imdb_tiny.graph, imdb_tiny.metapaths,
+                                 config, seed=0)
+        assert emb.shape == (imdb_tiny.graph.num_nodes, 8)
+        assert np.all(np.isfinite(emb))
+
+    def test_cowalkers_closer_than_strangers(self, imdb_tiny):
+        """Topological embeddings must encode co-occurrence structure."""
+        config = Metapath2VecConfig(embed_dim=16, walks_per_node=6,
+                                    walk_length=12, epochs=3)
+        emb = train_metapath2vec(imdb_tiny.graph, imdb_tiny.metapaths,
+                                 config, seed=0)
+        adj = imdb_tiny.graph.adjacency()
+        rng = np.random.default_rng(0)
+        normed = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        coo = adj.tocoo()
+        edge_sims = (normed[coo.row] * normed[coo.col]).sum(axis=1)
+        rand_a = rng.integers(0, adj.shape[0], 2000)
+        rand_b = rng.integers(0, adj.shape[0], 2000)
+        rand_sims = (normed[rand_a] * normed[rand_b]).sum(axis=1)
+        assert edge_sims.mean() > rand_sims.mean()
+
+    def test_non_cyclic_metapaths_skipped(self, imdb_tiny):
+        config = Metapath2VecConfig(embed_dim=4, walks_per_node=1,
+                                    walk_length=4, epochs=1)
+        emb = train_metapath2vec(imdb_tiny.graph,
+                                 [("movie", "actor")], config, seed=0)
+        # no walks → embeddings stay at initialization but valid
+        assert emb.shape == (imdb_tiny.graph.num_nodes, 4)
+
+
+class TestHGNNAC:
+    def test_prelearn_records_time(self, imdb_tiny):
+        config = Metapath2VecConfig(embed_dim=8, walks_per_node=1,
+                                    walk_length=4, epochs=1)
+        pre = prelearn_topology(imdb_tiny, config, seed=0)
+        assert pre.seconds > 0
+        assert pre.embeddings.shape[0] == imdb_tiny.graph.num_nodes
+
+    def test_completed_shape_and_grads(self, imdb_tiny):
+        rng = np.random.default_rng(0)
+        topo = rng.normal(size=(imdb_tiny.graph.num_nodes, 8))
+        builder = HGNNACFeatures(imdb_tiny, 32, topo)
+        h0 = builder()
+        assert h0.shape == (imdb_tiny.graph.num_nodes, 32)
+        (h0 * h0).mean().backward()
+        grads = [name for name, p in builder.named_parameters()
+                 if p.grad is not None]
+        assert "attn_proj" in grads and "fallback" in grads
+
+    def test_embedding_count_validation(self, imdb_tiny):
+        with pytest.raises(ValueError):
+            HGNNACFeatures(imdb_tiny, 32, np.zeros((3, 8)))
+
+    def test_completion_is_convex_combination_of_neighbors(self, imdb_tiny):
+        """Completed raw attrs lie in the convex hull of neighbor attrs."""
+        rng = np.random.default_rng(0)
+        topo = rng.normal(size=(imdb_tiny.graph.num_nodes, 8))
+        builder = HGNNACFeatures(imdb_tiny, 32, topo)
+        raw = imdb_tiny.feature_matrix_zero_filled()
+        with no_grad():
+            # reconstruct the pre-projection aggregation manually
+            from repro.tensor import Tensor, segment_softmax, scatter_add, leaky_relu
+            topo_dst = Tensor(topo[builder.edge_dst]) @ builder.attn_proj
+            topo_src = Tensor(topo[builder.edge_src]) @ builder.attn_proj
+            logits = leaky_relu((topo_dst * topo_src).sum(axis=-1), 0.2)
+            n_missing = imdb_tiny.missing_global_ids.shape[0]
+            alpha = segment_softmax(logits, builder.edge_dst_pos, n_missing)
+        # weights within each destination sum to 1 → convex combination
+        sums = np.zeros(n_missing)
+        np.add.at(sums, builder.edge_dst_pos, alpha.data)
+        covered = np.unique(builder.edge_dst_pos)
+        np.testing.assert_allclose(sums[covered], 1.0, rtol=1e-8)

@@ -1,0 +1,84 @@
+"""Error-path tests for the HeteroDataset container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import HeteroDataset, Split
+from repro.graph import HeteroGraph
+
+
+def _graph() -> HeteroGraph:
+    graph = HeteroGraph(
+        {"a": 3, "b": 2},
+        {("a", "r", "b"): np.array([[0, 1, 2], [0, 1, 1]])},
+    )
+    graph.add_reverse_relations()
+    return graph
+
+
+def _split() -> Split:
+    return Split(train=np.array([0]), val=np.array([1]),
+                 test=np.array([2]))
+
+
+class TestContainerValidation:
+    def test_missing_feature_entry_rejected(self):
+        with pytest.raises(KeyError):
+            HeteroDataset(
+                name="bad", graph=_graph(), target_type="a",
+                features={"a": None},  # no entry for "b"
+                labels=np.array([0, 1, 0]), num_classes=2, split=_split(),
+            )
+
+    def test_wrong_label_length_rejected(self):
+        with pytest.raises(ValueError):
+            HeteroDataset(
+                name="bad", graph=_graph(), target_type="a",
+                features={"a": None, "b": np.eye(2)},
+                labels=np.array([0, 1]),  # 3 target nodes
+                num_classes=2, split=_split(),
+            )
+
+    def test_inconsistent_raw_dims_rejected(self):
+        dataset = HeteroDataset(
+            name="bad", graph=_graph(), target_type="a",
+            features={"a": np.ones((3, 4)), "b": np.ones((2, 5))},
+            labels=np.array([0, 1, 0]), num_classes=2, split=_split(),
+        )
+        with pytest.raises(ValueError):
+            dataset.feature_matrix_zero_filled()
+
+    def test_no_attributed_types_needs_dim(self):
+        dataset = HeteroDataset(
+            name="bare", graph=_graph(), target_type="a",
+            features={"a": None, "b": None},
+            labels=np.array([0, 1, 0]), num_classes=2, split=_split(),
+        )
+        with pytest.raises(ValueError):
+            dataset.feature_matrix_zero_filled()
+        out = dataset.feature_matrix_zero_filled(dim=7)
+        assert out.shape == (5, 7)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_onehot_override_idempotent_for_attributed(self):
+        dataset = HeteroDataset(
+            name="ok", graph=_graph(), target_type="a",
+            features={"a": None, "b": np.ones((2, 4))},
+            labels=np.array([0, 1, 0]), num_classes=2, split=_split(),
+        )
+        overridden = dataset.with_handcrafted_onehot(["b", "a"])
+        # b keeps its raw attributes, a gains one-hot-derived ones
+        np.testing.assert_array_equal(overridden.features["b"],
+                                      dataset.features["b"])
+        assert overridden.features["a"].shape == (3, 4)
+
+    def test_empty_missing_ids_for_fully_attributed(self):
+        dataset = HeteroDataset(
+            name="full", graph=_graph(), target_type="a",
+            features={"a": np.ones((3, 4)), "b": np.ones((2, 4))},
+            labels=np.array([0, 1, 0]), num_classes=2, split=_split(),
+        )
+        assert dataset.missing_global_ids.shape == (0,)
+        assert dataset.attribute_missing_rate == 0.0

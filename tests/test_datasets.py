@@ -1,0 +1,210 @@
+"""Tests for the synthetic dataset generators and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SCALES,
+    SPECS,
+    HeteroDataset,
+    RelationSpec,
+    SchemaSpec,
+    Split,
+    generate,
+    get_dataset,
+    stratified_split,
+)
+
+
+class TestSplit:
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Split(train=np.array([0, 1]), val=np.array([1]),
+                  test=np.array([2]))
+
+    def test_stratified_split_fractions(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1, 2], 100)
+        split = stratified_split(labels, (0.24, 0.06, 0.70), rng)
+        assert split.sizes[0] == pytest.approx(72, abs=3)
+        assert split.sizes[1] == pytest.approx(18, abs=3)
+        # every class appears in every part
+        for part in (split.train, split.val, split.test):
+            assert set(labels[part]) == {0, 1, 2}
+
+    def test_split_covers_everything(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1], 50)
+        split = stratified_split(labels, (0.24, 0.06, 0.70), rng)
+        union = np.concatenate([split.train, split.val, split.test])
+        assert sorted(union.tolist()) == list(range(100))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["dblp", "acm", "imdb", "lastfm"])
+    def test_all_datasets_build(self, name):
+        ds = get_dataset(name, scale="tiny", seed=0)
+        assert ds.graph.num_nodes > 0
+        assert ds.labels.shape[0] == ds.graph.num_nodes_of(ds.target_type)
+
+    def test_unknown_name_and_scale(self):
+        with pytest.raises(KeyError):
+            get_dataset("unknown")
+        with pytest.raises(KeyError):
+            get_dataset("dblp", scale="galactic")
+
+    def test_cache_returns_same_object(self):
+        a = get_dataset("imdb", scale="tiny", seed=0)
+        b = get_dataset("imdb", scale="tiny", seed=0)
+        assert a is b
+
+    def test_determinism_across_cache_bypass(self):
+        a = get_dataset("acm", scale="tiny", seed=3, use_cache=False)
+        b = get_dataset("acm", scale="tiny", seed=3, use_cache=False)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(
+            a.graph.all_edges_global()[0], b.graph.all_edges_global()[0])
+
+    def test_different_seeds_differ(self):
+        a = get_dataset("acm", scale="tiny", seed=0, use_cache=False)
+        b = get_dataset("acm", scale="tiny", seed=1, use_cache=False)
+        assert not np.array_equal(a.graph.all_edges_global()[0],
+                                  b.graph.all_edges_global()[0])
+
+    def test_scaling_changes_counts(self):
+        tiny = get_dataset("dblp", scale="tiny", seed=0)
+        small = get_dataset("dblp", scale="small", seed=0)
+        assert small.graph.num_nodes > tiny.graph.num_nodes
+
+
+class TestSchemaFidelity:
+    """The generated datasets must match the paper's Table I patterns."""
+
+    def test_dblp_schema(self, dblp_tiny):
+        assert dblp_tiny.target_type == "author"
+        assert dblp_tiny.attributed_types == ["paper"]
+        assert set(dblp_tiny.missing_types) == {"author", "term", "venue"}
+        assert dblp_tiny.num_classes == 4
+
+    def test_acm_schema(self, acm_tiny):
+        assert acm_tiny.target_type == "paper"
+        assert acm_tiny.attributed_types == ["paper"]
+        assert acm_tiny.num_classes == 3
+        relations = {rel[1] for rel in acm_tiny.graph.relations}
+        assert "cites" in relations  # paper-paper self relation
+
+    def test_imdb_schema(self, imdb_tiny):
+        assert imdb_tiny.target_type == "movie"
+        assert set(imdb_tiny.missing_types) == {"director", "actor", "keyword"}
+        # the paper: 77% of IMDB nodes lack attributes
+        assert 0.6 < imdb_tiny.attribute_missing_rate < 0.9
+
+    def test_lastfm_schema(self, lastfm_tiny):
+        assert lastfm_tiny.link_target == ("user", "listens-to", "artist")
+        assert lastfm_tiny.attributed_types == ["artist"]
+
+    def test_metapaths_start_at_target(self, imdb_tiny):
+        assert all(mp[0] == mp[-1] for mp in imdb_tiny.metapaths)
+
+    def test_missing_ids_partition(self, imdb_tiny):
+        missing = set(imdb_tiny.missing_global_ids.tolist())
+        attributed = set(imdb_tiny.attributed_global_ids.tolist())
+        assert not (missing & attributed)
+        assert len(missing) + len(attributed) == imdb_tiny.graph.num_nodes
+
+
+class TestFeatures:
+    def test_zero_filled_matrix(self, imdb_tiny):
+        full = imdb_tiny.feature_matrix_zero_filled()
+        assert full.shape == (imdb_tiny.graph.num_nodes, 64)
+        np.testing.assert_allclose(full[imdb_tiny.missing_global_ids], 0.0)
+        assert np.abs(full[imdb_tiny.attributed_global_ids]).sum() > 0
+
+    def test_attributes_correlate_with_communities(self, imdb_tiny):
+        """Same-community attributed nodes must be more similar on average."""
+        feats = imdb_tiny.features["movie"]
+        comm = imdb_tiny.latent_communities[imdb_tiny.graph.global_ids("movie")]
+        normed = feats / (np.linalg.norm(feats, axis=1, keepdims=True) + 1e-12)
+        sims = normed @ normed.T
+        same = sims[comm[:, None] == comm[None, :]].mean()
+        diff = sims[comm[:, None] != comm[None, :]].mean()
+        assert same > diff + 0.05
+
+    def test_handcrafted_onehot_override(self, imdb_tiny):
+        ds = imdb_tiny.with_handcrafted_onehot(["actor"])
+        assert "actor" in ds.attributed_types
+        assert "actor" not in ds.missing_types
+        assert ds.attribute_missing_rate < imdb_tiny.attribute_missing_rate
+        # original untouched
+        assert "actor" in imdb_tiny.missing_types
+
+    def test_handcrafted_onehot_pads_small_types(self, dblp_tiny):
+        ds = dblp_tiny.with_handcrafted_onehot(["venue"])
+        venues = ds.features["venue"]
+        assert venues.shape[1] == 64
+        # identity block in the first columns
+        count = dblp_tiny.graph.num_nodes_of("venue")
+        np.testing.assert_allclose(venues[:, :count], np.eye(count))
+
+
+class TestGeneratorMechanics:
+    def _mini_spec(self, **overrides):
+        defaults = dict(
+            name="mini",
+            node_counts={"a": 40, "b": 60},
+            relations=(RelationSpec("a", "r", "b", edges_per_src=3.0),),
+            target_type="a",
+            attributed_types=("b",),
+            num_classes=2,
+            attribute_dim=8,
+        )
+        defaults.update(overrides)
+        return SchemaSpec(**defaults)
+
+    def test_every_source_has_an_edge(self):
+        ds = generate(self._mini_spec(), seed=0)
+        pairs = ds.graph.edges_local(("a", "r", "b"))
+        assert set(pairs[0].tolist()) == set(range(40))
+
+    def test_no_duplicate_edges(self):
+        ds = generate(self._mini_spec(), seed=0)
+        pairs = ds.graph.edges_local(("a", "r", "b"))
+        keys = set(map(tuple, pairs.T.tolist()))
+        assert len(keys) == pairs.shape[1]
+
+    def test_assortative_wiring(self):
+        spec = self._mini_spec(guest_fraction=0.0)
+        ds = generate(spec, seed=0)
+        pairs = ds.graph.edges_local(("a", "r", "b"))
+        comm = ds.latent_communities
+        src_comm = comm[ds.graph.to_global("a", pairs[0])]
+        dst_comm = comm[ds.graph.to_global("b", pairs[1])]
+        agreement = (src_comm == dst_comm).mean()
+        assert agreement > 0.6  # assortative=0.85 default, minus collisions
+
+    def test_guests_break_assortativity(self):
+        low = generate(self._mini_spec(guest_fraction=0.0), seed=0)
+        high = generate(self._mini_spec(guest_fraction=0.9), seed=0)
+
+        def agreement(ds):
+            pairs = ds.graph.edges_local(("a", "r", "b"))
+            comm = ds.latent_communities
+            return (comm[ds.graph.to_global("a", pairs[0])]
+                    == comm[ds.graph.to_global("b", pairs[1])]).mean()
+
+        assert agreement(low) > agreement(high)
+
+    def test_label_noise_rate(self):
+        spec = self._mini_spec(node_counts={"a": 2000, "b": 100},
+                               label_noise=0.2)
+        ds = generate(spec, seed=0)
+        comm = ds.latent_communities[ds.graph.global_ids("a")]
+        mismatch = (ds.labels != comm).mean()
+        # flipped-to-same-class halves the visible rate; allow slack
+        assert 0.05 < mismatch < 0.2
+
+    def test_scaled_minimum(self):
+        spec = SPECS["dblp"].scaled(0.001, minimum=6)
+        assert min(spec.node_counts.values()) == 6

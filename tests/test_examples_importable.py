@@ -1,0 +1,40 @@
+"""The example scripts must stay importable and expose a main() entry.
+
+Full executions are exercised manually / in the bench logs (they train
+models for minutes); here we verify they parse, import against the current
+API, and wire an argparse interface — the failure mode that actually bites
+example code is drift against the library.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # import executes top-level code only (main() is guarded)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    assert callable(module.main)
+
+
+def test_expected_example_set():
+    names = {path.stem for path in EXAMPLES}
+    assert {"quickstart", "imdb_genre_classification",
+            "lastfm_recommendation", "custom_completion_op",
+            "search_analysis"} <= names

@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment drivers and reporting (minimal slices)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures, reporting, tables
+from repro.experiments.configs import (
+    PAPER_LAMBDA,
+    PAPER_NUM_CLUSTERS,
+    autoac_config,
+    preset,
+)
+
+
+class TestConfigs:
+    def test_preset_lookup(self):
+        p = preset("tiny")
+        assert p.scale == "tiny"
+        with pytest.raises(KeyError):
+            preset("cosmic")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert preset(None).scale == "small"
+
+    def test_autoac_config_uses_paper_hyperparameters(self):
+        p = preset("tiny")
+        config = autoac_config("simple_hgn", "imdb", p)
+        assert config.num_clusters == PAPER_NUM_CLUSTERS[("simple_hgn", "imdb")]
+        assert config.lambda_cluster == PAPER_LAMBDA["simple_hgn"]
+
+    def test_autoac_config_overrides(self):
+        p = preset("tiny")
+        config = autoac_config("simple_hgn", "imdb", p, num_clusters=3)
+        assert config.num_clusters == 3
+
+
+@pytest.mark.slow
+class TestTableDrivers:
+    """Each driver runs on the smallest possible slice."""
+
+    def test_table3_slice(self):
+        result = tables.table3(scale="tiny", datasets=("imdb",),
+                               backbones=("simple_hgn",), seed=0)
+        rows = result["rows"]
+        assert set(rows) == {"simple_hgn", "simple_hgn-hgnnac",
+                             "simple_hgn-autoac"}
+        rendered = reporting.render_node_clf_table(result)
+        assert "imdb macro" in rendered
+        payload = json.loads(reporting.to_json(
+            {k: v for k, v in result.items() if k != "rows"}))
+        assert payload["table"] == "III"
+
+    def test_table9_slice(self):
+        result = tables.table9(scale="tiny", datasets=("imdb",), seed=0)
+        ladder = result["rows"]["imdb"]
+        assert len(ladder) == len(tables.MISSING_RATE_LADDERS["imdb"])
+        rates = [row["missing_rate"] for row in ladder]
+        assert rates == sorted(rates)
+        assert rates[0] == 0.0
+        rendered = reporting.render_table9(result)
+        assert "imdb" in rendered
+
+    def test_figure5_slice(self):
+        result = figures.figure5(scale="tiny", datasets=("imdb",),
+                                 backbones=("simple_hgn",), seed=0)
+        dist = result["distributions"]["simple_hgn"]["imdb"]
+        assert abs(sum(dist.values()) - 1.0) < 1e-9
+        rendered = reporting.render_figure5(result)
+        assert "simple_hgn / imdb" in rendered
+
+
+class TestReporting:
+    def test_render_bar_chart(self):
+        lines = reporting.render_bar_chart({"a": 0.5, "b": 1.0}, width=10)
+        assert len(lines) == 2
+        assert "##########" in lines[1]
+
+    def test_render_figure4_sparkline(self):
+        result = {"figure": "4", "traces": {"imdb": [1.0, 0.8, 0.6, 0.4]}}
+        out = reporting.render_figure4(result)
+        assert "imdb" in out and "start=" in out
+
+    def test_to_json_handles_numpy(self):
+        payload = {"x": np.float64(1.5), "y": np.arange(3)}
+        decoded = json.loads(reporting.to_json(payload))
+        assert decoded == {"x": 1.5, "y": [0, 1, 2]}
+
+    def test_render_table10(self):
+        result = {"table": "X", "datasets": ["imdb"], "rows": {"imdb": [
+            {"mask_rate": 0.1, "baseline_roc_auc": 0.6, "baseline_mrr": 0.5,
+             "autoac_roc_auc": 0.7, "autoac_mrr": 0.6}]}}
+        out = reporting.render_table10(result)
+        assert "10%" in out

@@ -1,0 +1,104 @@
+"""Hypothesis property tests for the dataset generator and graph toolkit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generator import RelationSpec, SchemaSpec, generate
+from repro.graph import (
+    HeteroGraph,
+    row_normalized_adjacency,
+    sym_normalized_adjacency,
+)
+
+SCHEMA_STRATEGY = st.fixed_dictionaries({
+    "n_a": st.integers(8, 40),
+    "n_b": st.integers(8, 40),
+    "edges_per_src": st.floats(1.0, 4.0),
+    "assortative": st.floats(0.0, 1.0),
+    "guest_fraction": st.floats(0.0, 0.5),
+    "num_classes": st.integers(2, 4),
+    "seed": st.integers(0, 1000),
+})
+
+
+def _build(params) -> SchemaSpec:
+    return SchemaSpec(
+        name="prop",
+        node_counts={"a": params["n_a"], "b": params["n_b"]},
+        relations=(RelationSpec("a", "r", "b",
+                                edges_per_src=params["edges_per_src"],
+                                assortative=params["assortative"]),),
+        target_type="a",
+        attributed_types=("b",),
+        num_classes=params["num_classes"],
+        attribute_dim=8,
+        guest_fraction=params["guest_fraction"],
+    )
+
+
+@given(SCHEMA_STRATEGY)
+@settings(max_examples=25, deadline=None)
+def test_generator_invariants(params):
+    dataset = generate(_build(params), seed=params["seed"])
+    graph = dataset.graph
+
+    # every node id valid, every source covered
+    pairs = graph.edges_local(("a", "r", "b"))
+    assert pairs[0].max() < params["n_a"]
+    assert pairs[1].max() < params["n_b"]
+    assert set(pairs[0].tolist()) == set(range(params["n_a"]))
+
+    # labels in range, splits partition the target nodes
+    assert dataset.labels.min() >= 0
+    assert dataset.labels.max() < params["num_classes"]
+    split = dataset.split
+    union = np.concatenate([split.train, split.val, split.test])
+    assert sorted(union.tolist()) == list(range(params["n_a"]))
+
+    # attributes non-negative, only on declared types
+    assert dataset.features["a"] is None
+    assert np.all(dataset.features["b"] >= 0)
+
+    # adjacency symmetric and loop-free
+    adj = graph.adjacency(symmetric=True)
+    assert (adj != adj.T).nnz == 0
+    assert adj.diagonal().sum() == 0
+
+
+@given(SCHEMA_STRATEGY)
+@settings(max_examples=15, deadline=None)
+def test_normalization_invariants_on_generated_graphs(params):
+    dataset = generate(_build(params), seed=params["seed"])
+    adj = dataset.graph.adjacency()
+
+    rn = row_normalized_adjacency(adj)
+    row_sums = np.asarray(rn.sum(axis=1)).ravel()
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    np.testing.assert_allclose(row_sums[degrees > 0], 1.0, rtol=1e-10)
+    np.testing.assert_allclose(row_sums[degrees == 0], 0.0)
+
+    sym = sym_normalized_adjacency(adj)
+    assert abs(sym - sym.T).nnz == 0
+    # entries bounded by 1 (self loops give exactly deg^-1 ≤ 1)
+    assert sym.data.max() <= 1.0 + 1e-12
+
+
+@given(st.integers(2, 30), st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_missing_rate_matches_declared_types(n_nodes, seed):
+    spec = SchemaSpec(
+        name="prop2",
+        node_counts={"x": n_nodes, "y": n_nodes},
+        relations=(RelationSpec("x", "r", "y", edges_per_src=2.0),),
+        target_type="x",
+        attributed_types=("y",),
+        num_classes=2,
+        attribute_dim=4,
+    )
+    dataset = generate(spec, seed=seed)
+    assert dataset.attribute_missing_rate == pytest.approx(0.5)
+    assert dataset.missing_global_ids.shape[0] == n_nodes

@@ -1,0 +1,218 @@
+"""Tests for adjacency normalizations, metapaths, walks, and modularity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    appnp_propagate,
+    collapse_regularization,
+    hard_modularity,
+    metapath_adjacency,
+    metapath_edge_list,
+    metapath_random_walks,
+    modularity_value,
+    ppnp_exact,
+    row_normalized_adjacency,
+    sym_normalized_adjacency,
+    typed_neighbor_sample,
+    uniform_random_walks,
+)
+from repro.graph.metapath import compose_biadjacency, metapath_instances
+
+
+class TestNormalizations:
+    def _chain(self, n=5):
+        adj = sp.diags([np.ones(n - 1), np.ones(n - 1)], [1, -1]).tocsr()
+        return adj
+
+    def test_row_normalized_rows_sum_to_one(self):
+        adj = self._chain()
+        rn = row_normalized_adjacency(adj)
+        np.testing.assert_allclose(np.asarray(rn.sum(axis=1)).ravel(), 1.0)
+
+    def test_row_normalized_zero_degree_stays_zero(self):
+        adj = sp.csr_matrix((3, 3))
+        rn = row_normalized_adjacency(adj)
+        assert rn.nnz == 0
+
+    def test_sym_normalized_is_symmetric(self):
+        adj = self._chain()
+        sym = sym_normalized_adjacency(adj)
+        assert abs(sym - sym.T).nnz == 0
+
+    def test_sym_normalized_spectral_radius_at_most_one(self):
+        adj = self._chain(7)
+        sym = sym_normalized_adjacency(adj).toarray()
+        eigenvalues = np.linalg.eigvalsh(sym)
+        assert eigenvalues.max() <= 1.0 + 1e-10
+
+    def test_appnp_converges_to_exact_ppnp(self):
+        rng = np.random.default_rng(0)
+        adj = sp.random(12, 12, density=0.3, random_state=1)
+        adj = ((adj + adj.T) > 0).astype(float).tocsr()
+        adj.setdiag(0)
+        adj.eliminate_zeros()
+        features = rng.normal(size=(12, 4))
+        exact = ppnp_exact(adj, alpha=0.2) @ features
+        approx = appnp_propagate(adj, features, alpha=0.2, iterations=200)
+        np.testing.assert_allclose(approx, exact, atol=1e-8)
+
+    def test_ppnp_alpha_validation(self):
+        adj = self._chain()
+        with pytest.raises(ValueError):
+            ppnp_exact(adj, alpha=0.0)
+        with pytest.raises(ValueError):
+            appnp_propagate(adj, np.zeros((5, 2)), alpha=1.5)
+
+
+class TestMetapaths:
+    def test_metapath_adjacency_shared_actor(self, toy_graph):
+        mam = metapath_adjacency(toy_graph, ("movie", "actor", "movie"))
+        # movies 0 and 1 share actor 1
+        assert mam[0, 1] > 0 and mam[1, 0] > 0
+        # movies 2 and 3 share actor 2
+        assert mam[2, 3] > 0
+        # no path between movie 0 and movie 2
+        assert mam[0, 2] == 0
+
+    def test_no_self_loops(self, toy_graph):
+        mam = metapath_adjacency(toy_graph, ("movie", "actor", "movie"))
+        assert mam.diagonal().sum() == 0
+
+    def test_binarize(self, toy_graph):
+        mtm = metapath_adjacency(toy_graph, ("movie", "tag", "movie"),
+                                 binarize=True)
+        assert set(np.unique(mtm.data)) <= {1.0}
+
+    def test_non_cyclic_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            metapath_adjacency(toy_graph, ("movie", "actor"))
+
+    def test_unknown_step_rejected(self, toy_graph):
+        with pytest.raises(KeyError):
+            metapath_adjacency(toy_graph, ("movie", "nonexistent", "movie"))
+
+    def test_edge_list_matches_adjacency(self, toy_graph):
+        adj = metapath_adjacency(toy_graph, ("movie", "actor", "movie"),
+                                 binarize=True)
+        src, dst, weight = metapath_edge_list(toy_graph,
+                                              ("movie", "actor", "movie"))
+        assert src.shape[0] == adj.nnz
+        assert np.all(weight == 1.0)
+
+    def test_compose_biadjacency(self, toy_graph):
+        reach = compose_biadjacency(toy_graph, ("movie", "actor"))
+        assert reach.shape == (4, 3)
+        reach2 = compose_biadjacency(toy_graph, ("tag", "movie", "actor"))
+        assert reach2.shape == (2, 3)
+        # tag0 → movies 0,1 → actors 0,1
+        assert reach2[0, 0] > 0 and reach2[0, 1] > 0 and reach2[0, 2] == 0
+
+    def test_metapath_instances_endpoints_differ(self, toy_graph):
+        rng = np.random.default_rng(0)
+        src, center, dst = metapath_instances(
+            toy_graph, ("movie", "actor", "movie"), cap_per_center=10, rng=rng)
+        assert np.all(src != dst)
+        # centers are actor global ids
+        assert np.all((center >= 4) & (center < 7))
+
+    def test_metapath_instances_cap(self, toy_graph):
+        rng = np.random.default_rng(0)
+        src, _, _ = metapath_instances(
+            toy_graph, ("movie", "actor", "movie"), cap_per_center=1, rng=rng)
+        # at most 1 pair per actor center
+        assert src.shape[0] <= 3
+
+
+class TestWalks:
+    def test_uniform_walk_shape_and_validity(self, toy_graph):
+        rng = np.random.default_rng(0)
+        starts = np.array([0, 4, 8])
+        walks = uniform_random_walks(toy_graph, starts, length=5, rng=rng)
+        assert walks.shape == (3, 6)
+        adj = toy_graph.adjacency()
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or adj[a, b] == 1.0
+
+    def test_metapath_walk_alternates_types(self, toy_graph):
+        rng = np.random.default_rng(0)
+        walks = metapath_random_walks(toy_graph, ("movie", "actor", "movie"),
+                                      walks_per_node=1, walk_length=4, rng=rng)
+        assert walks
+        type_index = toy_graph.node_type_index
+        for walk in walks:
+            expected = [0, 1] * 10  # movie=0, actor=1 alternating
+            for position, node in enumerate(walk):
+                assert type_index[node] == expected[position]
+
+    def test_metapath_walk_requires_cycle(self, toy_graph):
+        with pytest.raises(ValueError):
+            metapath_random_walks(toy_graph, ("movie", "actor"), 1, 3,
+                                  np.random.default_rng(0))
+
+    def test_typed_neighbor_sample_shapes(self, toy_graph):
+        rng = np.random.default_rng(0)
+        samples = typed_neighbor_sample(toy_graph, "movie", budget=4, rng=rng)
+        assert set(samples) == {"movie", "actor", "tag"}
+        assert samples["actor"].shape == (4, 4)
+        # movie 0's actor samples must be actors 0/1 (its real neighbors)
+        assert set(samples["actor"][0].tolist()) <= {4, 5}
+
+    def test_typed_neighbor_sample_padding_with_self(self, toy_graph):
+        rng = np.random.default_rng(0)
+        samples = typed_neighbor_sample(toy_graph, "tag", budget=2, rng=rng)
+        # tags have no tag neighbors → padded with own id
+        np.testing.assert_array_equal(samples["tag"][0], [7, 7])
+
+
+class TestModularity:
+    def _two_cliques(self):
+        """Two 4-cliques joined by a single edge — crisp communities."""
+        n = 8
+        adj = np.zeros((n, n))
+        for block in (range(4), range(4, 8)):
+            for i in block:
+                for j in block:
+                    if i != j:
+                        adj[i, j] = 1
+        adj[3, 4] = adj[4, 3] = 1
+        return sp.csr_matrix(adj)
+
+    def test_hard_modularity_matches_networkx(self):
+        import networkx as nx
+
+        adj = self._two_cliques()
+        labels = np.array([0] * 4 + [1] * 4)
+        ours = hard_modularity(adj, labels)
+        graph = nx.from_scipy_sparse_array(adj)
+        reference = nx.algorithms.community.modularity(
+            graph, [set(range(4)), set(range(4, 8))])
+        assert ours == pytest.approx(reference, abs=1e-10)
+
+    def test_good_partition_beats_bad(self):
+        adj = self._two_cliques()
+        good = hard_modularity(adj, np.array([0] * 4 + [1] * 4))
+        bad = hard_modularity(adj, np.array([0, 1] * 4))
+        assert good > bad
+
+    def test_soft_assignment_interpolates(self):
+        adj = self._two_cliques()
+        hard = np.zeros((8, 2))
+        hard[:4, 0] = 1
+        hard[4:, 1] = 1
+        uniform = np.full((8, 2), 0.5)
+        assert modularity_value(adj, hard) > modularity_value(adj, uniform)
+
+    def test_collapse_regularization_bounds(self):
+        balanced = np.zeros((8, 2))
+        balanced[:4, 0] = 1
+        balanced[4:, 1] = 1
+        collapsed = np.zeros((8, 2))
+        collapsed[:, 0] = 1
+        assert collapse_regularization(balanced) == pytest.approx(0.0, abs=1e-9)
+        assert collapse_regularization(collapsed) == pytest.approx(
+            np.sqrt(2) - 1, abs=1e-9)

@@ -1,0 +1,139 @@
+"""Behavioural tests for model-specific mechanisms (residuals, gates,
+selection weights, attention simplexes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.completion import HandcraftedFeatures
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad, softmax
+from repro.training import set_seed
+
+
+@pytest.fixture(scope="module")
+def h0(imdb_tiny):
+    set_seed(0)
+    builder = HandcraftedFeatures(imdb_tiny, 64)
+    builder.eval()
+    with no_grad():
+        return builder()
+
+
+class TestSimpleHGNMechanisms:
+    def test_edge_residual_changes_output(self, imdb_tiny, h0):
+        set_seed(1)
+        with_residual = build_model("simple_hgn", imdb_tiny, beta=0.5)
+        set_seed(1)
+        without_residual = build_model("simple_hgn", imdb_tiny, beta=0.0)
+        with_residual.eval()
+        without_residual.eval()
+        with no_grad():
+            a = with_residual(h0).data
+            b = without_residual(h0).data
+        assert not np.allclose(a, b)
+
+    def test_node_residual_present(self, imdb_tiny):
+        model = build_model("simple_hgn", imdb_tiny)
+        assert model.layers[0].residual_proj is not None
+
+    def test_unnormalized_output_option(self, imdb_tiny, h0):
+        model = build_model("simple_hgn", imdb_tiny, normalize_output=False)
+        model.eval()
+        with no_grad():
+            encoded = model.encode(h0)
+        norms = np.linalg.norm(encoded.data, axis=-1)
+        assert not np.allclose(norms, 1.0)
+
+
+class TestFastGTN:
+    def test_selection_weights_form_simplex(self, imdb_tiny):
+        model = build_model("gtn", imdb_tiny)
+        for channel in model.channels:
+            weights = softmax(channel.selection, axis=-1).data
+            np.testing.assert_allclose(weights.sum(axis=-1), 1.0)
+
+    def test_identity_relation_included(self, imdb_tiny):
+        model = build_model("gtn", imdb_tiny)
+        adjacencies = model.channels[0].adjacencies
+        # last adjacency is the identity (lets a channel skip hops)
+        eye = adjacencies[-1]
+        assert (eye != eye.T).nnz == 0
+        np.testing.assert_allclose(eye.diagonal(), 1.0)
+        assert eye.nnz == imdb_tiny.graph.num_nodes
+
+    def test_relation_adjacencies_row_normalized(self, imdb_tiny):
+        model = build_model("gtn", imdb_tiny)
+        for adj in model.channels[0].adjacencies[:-1]:
+            row_sums = np.asarray(adj.sum(axis=1)).ravel()
+            nonzero = row_sums > 0
+            np.testing.assert_allclose(row_sums[nonzero], 1.0, rtol=1e-10)
+
+
+class TestHGTMechanisms:
+    def test_gate_keeps_convexity(self, imdb_tiny, h0):
+        """HGT output = gate*msg + (1-gate)*h with gate in (0,1)."""
+        set_seed(0)
+        model = build_model("hgt", imdb_tiny)
+        layer = model.layers[0]
+        gate = 1.0 / (1.0 + np.exp(-layer.skip.data))
+        assert np.all(gate > 0) and np.all(gate < 1)
+
+    def test_relation_priors_trainable(self, imdb_tiny, h0):
+        from repro.tensor import cross_entropy
+        set_seed(0)
+        model = build_model("hgt", imdb_tiny)
+        loss = cross_entropy(model(h0), imdb_tiny.labels)
+        loss.backward()
+        assert model.layers[0].rel_prior.grad is not None
+        assert np.abs(model.layers[0].rel_prior.grad).sum() > 0
+
+
+class TestGATNEMechanisms:
+    def test_relation_attention_simplex(self, imdb_tiny, h0):
+        set_seed(0)
+        model = build_model("gatne", imdb_tiny)
+        model.eval()
+        with no_grad():
+            from repro.tensor import spmm, stack, tanh
+            views = [spmm(adj, model.edge_table) for adj in model.rel_adjs]
+            stacked = stack(views, axis=1)
+            scores = tanh(stacked @ model.attn_w) @ model.attn_q
+            weights = softmax(scores.reshape(-1, model.num_rel), axis=-1).data
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0)
+        assert np.all(weights >= 0)
+
+
+class TestHetGNNMechanisms:
+    def test_samples_cover_every_type(self, imdb_tiny):
+        model = build_model("hetgnn", imdb_tiny)
+        for node_type, tables in model.samples.items():
+            assert set(tables) == set(imdb_tiny.graph.node_types)
+            n_type = imdb_tiny.graph.num_nodes_of(node_type)
+            for table in tables.values():
+                assert table.shape[0] == n_type
+
+    def test_encode_preserves_global_order(self, imdb_tiny, h0):
+        """Output rows follow the global type-ordered layout."""
+        model = build_model("hetgnn", imdb_tiny)
+        model.eval()
+        with no_grad():
+            encoded = model.encode(h0)
+        assert encoded.shape[0] == imdb_tiny.graph.num_nodes
+
+
+class TestHGCAMechanisms:
+    def test_auxiliary_loss_positive_and_differentiable(self, imdb_tiny, h0):
+        set_seed(0)
+        model = build_model("hgca", imdb_tiny)
+        model(Tensor(h0.data, requires_grad=True))
+        aux = model.auxiliary_loss()
+        assert aux.item() > 0
+        aux.backward()
+        assert model.structure_embed.grad is not None
+
+    def test_auxiliary_loss_requires_forward(self, imdb_tiny):
+        model = build_model("hgca", imdb_tiny)
+        with pytest.raises(RuntimeError):
+            model.auxiliary_loss()

@@ -1,0 +1,81 @@
+"""Tests for experiment runner helpers and additional engine edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    mean_std,
+    single_op_features_factory,
+    train_baseline,
+)
+from repro.experiments.configs import preset
+from repro.tensor import Tensor, gradcheck
+
+
+class TestMeanStd:
+    def test_values(self):
+        stats = mean_std([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["std"] == pytest.approx(np.std([1, 2, 3]))
+
+    def test_single_value(self):
+        stats = mean_std([0.5])
+        assert stats["mean"] == 0.5 and stats["std"] == 0.0
+
+
+class TestSingleOpFactory:
+    def test_named_op(self, imdb_tiny):
+        factory = single_op_features_factory(imdb_tiny, 32, "mean")
+        builder = factory()
+        assert builder().shape == (imdb_tiny.graph.num_nodes, 32)
+
+    def test_random_op_is_reproducible(self, imdb_tiny):
+        factory = single_op_features_factory(imdb_tiny, 32, "random")
+        first = factory().assignment
+        second = single_op_features_factory(imdb_tiny, 32, "random")().assignment
+        np.testing.assert_array_equal(first, second)
+
+
+class TestTrainBaselineHelper:
+    def test_row_fields(self, imdb_tiny):
+        p = preset("tiny")
+        row = train_baseline(imdb_tiny, "mlp", p, seed=0)
+        assert set(row) == {"macro_f1", "micro_f1", "runtime_total",
+                            "runtime_per_epoch"}
+        assert row["runtime_per_epoch"] <= row["runtime_total"]
+
+
+class TestEngineEdgeCases:
+    def test_getitem_boolean_mask(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(3, 2), requires_grad=True)
+        mask = np.array([True, False, True])
+        gradcheck(lambda t: t[mask], [x])
+
+    def test_getitem_2d_fancy(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)),
+                   requires_grad=True)
+        rows = np.array([0, 2, 2])
+        cols = np.array([1, 3, 3])
+        gradcheck(lambda t: t[rows, cols], [x])
+
+    def test_empty_gather(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = x[np.array([], dtype=np.int64)]
+        assert out.shape == (0, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, 0.0)
+
+    def test_scalar_chain(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3.0 + 1.0) ** 2
+        y.backward()
+        assert x.grad == pytest.approx(2 * 7 * 3)
+
+    def test_zero_size_scatter(self):
+        from repro.tensor import scatter_add
+        src = Tensor(np.zeros((0, 4)), requires_grad=True)
+        out = scatter_add(src, np.array([], dtype=np.int64), 3)
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data, 0.0)

@@ -1,0 +1,150 @@
+"""Tests for serialization, the CLI, dataset stats, and new tensor ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import (
+    SearchResult,
+    load_module,
+    load_search_result,
+    save_module,
+    save_search_result,
+)
+from repro.datasets import dataset_statistics, get_dataset, render_table1
+from repro.tensor import Linear, Tensor, cos, gradcheck, sin
+
+
+class TestTrig:
+    def test_values(self):
+        x = Tensor(np.array([0.0, np.pi / 2]))
+        np.testing.assert_allclose(cos(x).data, [1.0, 0.0], atol=1e-12)
+        np.testing.assert_allclose(sin(x).data, [0.0, 1.0], atol=1e-12)
+
+    def test_gradients(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)),
+                   requires_grad=True)
+        gradcheck(lambda t: cos(t), [x])
+        gradcheck(lambda t: sin(t), [x])
+
+    def test_pythagorean_identity(self):
+        x = Tensor(np.random.default_rng(1).normal(size=10))
+        total = (cos(x) * cos(x) + sin(x) * sin(x)).data
+        np.testing.assert_allclose(total, 1.0, rtol=1e-12)
+
+
+def _dummy_result() -> SearchResult:
+    return SearchResult(
+        assignment=np.array([0, 1, 2, 3, 1]),
+        cluster_labels=np.array([0, 1, 1, 0, 2]),
+        alpha=np.random.default_rng(0).random((3, 4)),
+        op_names=["mean", "gcn", "ppnp", "one_hot"],
+        best_val_score=0.87,
+        epochs_run=42,
+        search_seconds=12.5,
+        history={"lgmoc": [1.0, 0.9, 0.8], "val_score": [0.1, 0.5]},
+    )
+
+
+class TestSearchResultSerialization:
+    def test_roundtrip(self, tmp_path):
+        original = _dummy_result()
+        path = tmp_path / "search.npz"
+        save_search_result(original, path)
+        loaded = load_search_result(path)
+        np.testing.assert_array_equal(loaded.assignment, original.assignment)
+        np.testing.assert_array_equal(loaded.cluster_labels,
+                                      original.cluster_labels)
+        np.testing.assert_allclose(loaded.alpha, original.alpha)
+        assert loaded.op_names == original.op_names
+        assert loaded.best_val_score == pytest.approx(0.87)
+        assert loaded.epochs_run == 42
+        assert loaded.history["lgmoc"] == [1.0, 0.9, 0.8]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_search_result(tmp_path / "nope.npz")
+
+    def test_op_distribution_survives(self, tmp_path):
+        original = _dummy_result()
+        path = tmp_path / "search.npz"
+        save_search_result(original, path)
+        loaded = load_search_result(path)
+        assert loaded.op_distribution() == original.op_distribution()
+
+
+class TestModuleSerialization:
+    def test_roundtrip(self, tmp_path):
+        module = Linear(4, 3)
+        path = tmp_path / "weights.npz"
+        save_module(module, path)
+        fresh = Linear(4, 3)
+        load_module(fresh, path)
+        np.testing.assert_array_equal(fresh.weight.data, module.weight.data)
+        np.testing.assert_array_equal(fresh.bias.data, module.bias.data)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_module(Linear(2, 2), tmp_path / "absent.npz")
+
+
+class TestDatasetStats:
+    def test_statistics_facts(self, imdb_tiny):
+        stats = dataset_statistics(imdb_tiny)
+        assert stats.name == "imdb"
+        assert stats.num_node_types == 4
+        assert stats.target == "movie"
+        per_type = {t.name: t for t in stats.per_type}
+        assert per_type["movie"].attribute == "Raw"
+        assert per_type["actor"].attribute == "Missing"
+        # forward edges only (reverse relations not double counted)
+        forward = sum(imdb_tiny.graph.num_edges(rel)
+                      for rel in imdb_tiny.graph.relations
+                      if not rel[1].endswith("_rev"))
+        assert stats.num_edges == forward
+
+    def test_render_table1(self, imdb_tiny, acm_tiny):
+        out = render_table1([dataset_statistics(imdb_tiny),
+                             dataset_statistics(acm_tiny)])
+        assert "Table I" in out
+        assert "movie:" in out and "paper:" in out
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["datasets", "--scale", "tiny"])
+        assert args.command == "datasets"
+        args = parser.parse_args(["table", "9", "--scale", "tiny"])
+        assert args.number == "9"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table", "1"])  # Table I lives under `datasets`
+
+    def test_datasets_command_runs(self, capsys):
+        assert main(["datasets", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "dblp" in out and "lastfm" in out
+
+    def test_train_command_runs(self, capsys):
+        code = main(["train", "--dataset", "imdb", "--scale", "tiny",
+                     "--model", "mlp", "--epochs", "5",
+                     "--completion", "mean"])
+        assert code == 0
+        assert "macro-F1" in capsys.readouterr().out
+
+    def test_search_then_train_from_saved(self, tmp_path, capsys):
+        out_file = tmp_path / "imdb_search.npz"
+        code = main(["search", "--dataset", "imdb", "--scale", "tiny",
+                     "--model", "gcn", "--epochs", "6", "--clusters", "3",
+                     "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        code = main(["train", "--dataset", "imdb", "--scale", "tiny",
+                     "--model", "gcn", "--epochs", "5",
+                     "--from-search", str(out_file)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "macro-F1" in output

@@ -1,0 +1,254 @@
+"""Gradient checks and semantics for every autograd primitive."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import (
+    Tensor,
+    absolute,
+    clip,
+    concat,
+    elu,
+    exp,
+    gather_rows,
+    gradcheck,
+    leaky_relu,
+    log,
+    maximum,
+    no_grad,
+    relu,
+    scatter_add,
+    sigmoid,
+    spmm,
+    sqrt,
+    stack,
+    tanh,
+    where,
+)
+
+RNG = np.random.default_rng(7)
+
+
+def _t(shape, positive=False, lo=0.2):
+    data = RNG.normal(size=shape)
+    if positive:
+        data = np.abs(data) + lo
+    return Tensor(data, requires_grad=True)
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        a, b = _t((3, 4)), _t((4,))
+        gradcheck(lambda x, y: x + y, [a, b])
+
+    def test_sub_broadcast_scalar_like(self):
+        a, b = _t((2, 3)), _t((1, 3))
+        gradcheck(lambda x, y: x - y, [a, b])
+
+    def test_mul(self):
+        a, b = _t((5,)), _t((5,))
+        gradcheck(lambda x, y: x * y, [a, b])
+
+    def test_div(self):
+        a, b = _t((3, 2)), _t((3, 2), positive=True)
+        gradcheck(lambda x, y: x / y, [a, b])
+
+    def test_pow(self):
+        a = _t((4,), positive=True)
+        gradcheck(lambda x: x ** 3, [a])
+
+    def test_neg(self):
+        a = _t((3,))
+        gradcheck(lambda x: -x, [a])
+
+    def test_radd_rsub_rmul_rdiv(self):
+        a = _t((3,), positive=True)
+        gradcheck(lambda x: 2.0 + x, [a])
+        gradcheck(lambda x: 2.0 - x, [a])
+        gradcheck(lambda x: 2.0 * x, [a])
+        gradcheck(lambda x: 2.0 / x, [a])
+
+    def test_maximum_gradient_goes_to_larger(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+
+class TestUnary:
+    @pytest.mark.parametrize("fn", [exp, tanh, sigmoid, relu, elu, absolute])
+    def test_gradients(self, fn):
+        a = _t((4, 3))
+        a.data += np.sign(a.data) * 0.05  # keep away from relu/abs kinks
+        gradcheck(lambda x: fn(x), [a])
+
+    def test_log_sqrt_positive_domain(self):
+        a = _t((5,), positive=True)
+        gradcheck(lambda x: log(x), [a])
+        gradcheck(lambda x: sqrt(x), [a])
+
+    def test_leaky_relu_slope(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        out = leaky_relu(a, 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
+
+    def test_clip_gradient_masked_outside(self):
+        a = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        clip(a, 0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmul:
+    def test_2d(self):
+        a, b = _t((3, 4)), _t((4, 2))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_matrix_vector(self):
+        a, b = _t((3, 4)), _t((4,))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_vector_matrix(self):
+        a, b = _t((3,)), _t((3, 2))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_batched(self):
+        a, b = _t((2, 3, 4)), _t((2, 4, 5))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+    def test_broadcast_batch(self):
+        a, b = _t((2, 3, 4)), _t((4, 5))
+        gradcheck(lambda x, y: x @ y, [a, b])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
+                                               (1, True), ((0, 1), False)])
+    def test_sum(self, axis, keepdims):
+        a = _t((3, 4))
+        gradcheck(lambda x: x.sum(axis=axis, keepdims=keepdims), [a])
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_mean(self, axis):
+        a = _t((3, 4))
+        gradcheck(lambda x: x.mean(axis=axis), [a])
+
+    def test_max_axis(self):
+        a = _t((4, 5))
+        gradcheck(lambda x: x.max(axis=1), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_min(self):
+        a = _t((3, 4))
+        gradcheck(lambda x: x.min(axis=0), [a])
+
+
+class TestShaping:
+    def test_reshape(self):
+        a = _t((3, 4))
+        gradcheck(lambda x: x.reshape(2, 6), [a])
+
+    def test_transpose_default_and_axes(self):
+        a = _t((2, 3, 4))
+        gradcheck(lambda x: x.transpose(), [a])
+        gradcheck(lambda x: x.transpose((1, 2, 0)), [a])
+
+    def test_getitem_slice(self):
+        a = _t((5, 3))
+        gradcheck(lambda x: x[1:4], [a])
+
+    def test_getitem_integer_array_with_duplicates(self):
+        a = _t((4, 2))
+        idx = np.array([0, 0, 3, 1])
+        gradcheck(lambda x: gather_rows(x, idx), [a])
+
+    def test_concat(self):
+        a, b = _t((2, 3)), _t((4, 3))
+        gradcheck(lambda x, y: concat([x, y], axis=0), [a, b])
+
+    def test_stack(self):
+        a, b = _t((2, 3)), _t((2, 3))
+        gradcheck(lambda x, y: stack([x, y], axis=1), [a, b])
+
+    def test_squeeze_unsqueeze(self):
+        a = _t((3, 1, 4))
+        assert a.squeeze(1).shape == (3, 4)
+        assert a.unsqueeze(0).shape == (1, 3, 1, 4)
+        gradcheck(lambda x: x.squeeze(1).unsqueeze(2), [a])
+
+    def test_where(self):
+        a, b = _t((4,)), _t((4,))
+        cond = np.array([True, False, True, False])
+        gradcheck(lambda x, y: where(cond, x, y), [a, b])
+
+
+class TestScatterGather:
+    def test_scatter_add_matches_manual(self):
+        src = Tensor(np.arange(8, dtype=float).reshape(4, 2), requires_grad=True)
+        idx = np.array([0, 1, 0, 2])
+        out = scatter_add(src, idx, 3)
+        np.testing.assert_allclose(out.data, [[4, 6], [2, 3], [6, 7]])
+        gradcheck(lambda x: scatter_add(x, idx, 3), [src])
+
+    def test_scatter_into_empty_segment(self):
+        src = _t((2, 3))
+        out = scatter_add(src, np.array([0, 2]), 4)
+        np.testing.assert_allclose(out.data[1], 0.0)
+        np.testing.assert_allclose(out.data[3], 0.0)
+
+
+class TestSparse:
+    def test_spmm_gradcheck(self):
+        mat = sp.random(6, 5, density=0.4, random_state=3, format="csr")
+        x = _t((5, 3))
+        gradcheck(lambda t: spmm(mat, t), [x])
+
+    def test_spmm_matches_dense(self):
+        mat = sp.random(4, 4, density=0.5, random_state=1, format="csr")
+        x = _t((4, 2))
+        np.testing.assert_allclose(spmm(mat, x).data, mat.toarray() @ x.data)
+
+
+class TestAutogradMechanics:
+    def test_no_grad_blocks_graph(self):
+        a = _t((3,))
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        a = _t((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        a = _t((2,))
+        (a * 1.0).sum().backward()
+        (a * 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 2.0])
+
+    def test_diamond_graph_gradient(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_detach_cuts_graph(self):
+        a = _t((3,))
+        out = (a.detach() * 2.0).sum()
+        assert not out.requires_grad

@@ -1,0 +1,103 @@
+"""Hypothesis property-based tests for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import (
+    Tensor,
+    gradcheck,
+    scatter_add,
+    segment_softmax,
+    softmax,
+)
+from repro.tensor.tensor import unbroadcast
+
+SMALL_FLOATS = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4),
+    elements=st.floats(-3.0, 3.0, allow_nan=False),
+)
+
+
+@given(SMALL_FLOATS)
+@settings(max_examples=40, deadline=None)
+def test_add_mul_gradients_any_shape(data):
+    a = Tensor(data + 0.1, requires_grad=True)
+    b = Tensor(np.ones_like(data) * 0.7, requires_grad=True)
+    gradcheck(lambda x, y: x * y + x, [a, b])
+
+
+@given(SMALL_FLOATS)
+@settings(max_examples=40, deadline=None)
+def test_unbroadcast_inverts_broadcasting(data):
+    target_shape = data.shape
+    broadcast = np.broadcast_to(data, (2,) + target_shape)
+    reduced = unbroadcast(broadcast.copy(), target_shape)
+    np.testing.assert_allclose(reduced, data * 2)
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(
+    st.integers(1, 6), st.integers(2, 5)),
+    elements=st.floats(-5, 5, allow_nan=False)))
+@settings(max_examples=40, deadline=None)
+def test_softmax_simplex(data):
+    out = softmax(Tensor(data)).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=-1), 1.0, rtol=1e-9)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_scatter_gather_roundtrip(data):
+    n_seg = data.draw(st.integers(1, 5))
+    n_rows = data.draw(st.integers(1, 10))
+    seg = data.draw(hnp.arrays(np.int64, n_rows,
+                               elements=st.integers(0, n_seg - 1)))
+    values = data.draw(hnp.arrays(np.float64, (n_rows, 2),
+                                  elements=st.floats(-2, 2, allow_nan=False)))
+    out = scatter_add(Tensor(values), seg, n_seg).data
+    manual = np.zeros((n_seg, 2))
+    for row, s in enumerate(seg):
+        manual[s] += values[row]
+    np.testing.assert_allclose(out, manual, atol=1e-12)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_segment_softmax_is_partitioned_simplex(data):
+    n_seg = data.draw(st.integers(1, 4))
+    n_rows = data.draw(st.integers(1, 12))
+    seg = data.draw(hnp.arrays(np.int64, n_rows,
+                               elements=st.integers(0, n_seg - 1)))
+    scores = data.draw(hnp.arrays(np.float64, n_rows,
+                                  elements=st.floats(-4, 4, allow_nan=False)))
+    out = segment_softmax(Tensor(scores), seg, n_seg).data
+    assert np.all(out >= 0)
+    for s in np.unique(seg):
+        np.testing.assert_allclose(out[seg == s].sum(), 1.0, rtol=1e-8)
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(
+    st.integers(1, 4), st.integers(1, 4)),
+    elements=st.floats(0.1, 3.0, allow_nan=False)))
+@settings(max_examples=30, deadline=None)
+def test_chain_rule_composition(data):
+    """(sum of x^2)' == 2x through an arbitrary composition path."""
+    x = Tensor(data, requires_grad=True)
+    ((x * x).sum()).backward()
+    np.testing.assert_allclose(x.grad, 2 * data, rtol=1e-10)
+
+
+@given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 8),
+                  elements=st.floats(-2, 2, allow_nan=False)))
+@settings(max_examples=30, deadline=None)
+def test_linearity_of_gradient(vec):
+    """grad of (a·x) is a, independent of x."""
+    coeffs = np.arange(1.0, vec.size + 1.0)
+    x = Tensor(vec, requires_grad=True)
+    (x * coeffs).sum().backward()
+    np.testing.assert_allclose(x.grad, coeffs)

@@ -1,0 +1,219 @@
+"""Tests for metrics, early stopping, and both trainers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.completion import HandcraftedFeatures
+from repro.models import build_model
+from repro.tensor import Linear
+from repro.training import (
+    EarlyStopping,
+    LinkPredConfig,
+    LinkPredictionTask,
+    LinkPredictionTrainer,
+    NodeClassificationTrainer,
+    TrainConfig,
+    accuracy,
+    macro_f1,
+    mean_reciprocal_rank,
+    micro_f1,
+    roc_auc,
+    run_repeats,
+    set_seed,
+)
+
+
+class TestF1:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 0, 1])
+        assert macro_f1(y, y, 3) == 1.0
+        assert micro_f1(y, y, 3) == 1.0
+
+    def test_known_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        # class0: P=1, R=.5, F1=2/3 ; class1: P=2/3, R=1, F1=0.8
+        assert macro_f1(y_true, y_pred, 2) == pytest.approx((2 / 3 + 0.8) / 2)
+        # micro: P=R=3/4
+        assert micro_f1(y_true, y_pred, 2) == pytest.approx(0.75)
+
+    def test_absent_class_counts_as_zero(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        assert macro_f1(y_true, y_pred, 2) == pytest.approx(0.5)
+
+    def test_micro_equals_accuracy_single_label(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 4, 50)
+        y_pred = rng.integers(0, 4, 50)
+        assert micro_f1(y_true, y_pred, 4) == pytest.approx(
+            accuracy(y_true, y_pred))
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_reversed_separation(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 3000)
+        scores = rng.random(3000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_average(self):
+        labels = np.array([1, 0])
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_degenerate_single_class(self):
+        assert roc_auc(np.array([1, 1]), np.array([0.1, 0.2])) == 0.5
+
+
+class TestMRR:
+    def test_positive_above_all_negatives(self):
+        assert mean_reciprocal_rank(np.array([10.0]),
+                                    np.array([1.0, 2.0])) == 1.0
+
+    def test_rank_three(self):
+        # two negatives higher → rank 3 → RR = 1/3
+        assert mean_reciprocal_rank(np.array([1.0]),
+                                    np.array([2.0, 3.0])) == pytest.approx(1 / 3)
+
+    def test_tie_handling(self):
+        # one tie: rank = 1 + 0 + 0.5 = 1.5
+        assert mean_reciprocal_rank(np.array([2.0]),
+                                    np.array([2.0])) == pytest.approx(1 / 1.5)
+
+    def test_empty_positives(self):
+        assert mean_reciprocal_rank(np.array([]), np.array([1.0])) == 0.0
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        module = Linear(2, 2)
+        stopper = EarlyStopping(patience=2, modules=[module])
+        assert not stopper.step(0.5, 0)
+        assert not stopper.step(0.4, 1)
+        assert stopper.step(0.3, 2)
+
+    def test_restores_best_state(self):
+        module = Linear(2, 2)
+        stopper = EarlyStopping(patience=5, modules=[module])
+        stopper.step(1.0, 0)
+        best = module.state_dict()
+        module.weight.data += 100.0
+        stopper.step(0.5, 1)
+        stopper.restore_best()
+        np.testing.assert_array_equal(module.weight.data, best["weight"])
+
+    def test_patience_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0, modules=[])
+
+
+class TestNodeClassificationTrainer:
+    def test_learns_above_chance(self, imdb_tiny):
+        set_seed(0)
+        model = build_model("gcn", imdb_tiny)
+        features = HandcraftedFeatures(imdb_tiny, 64)
+        trainer = NodeClassificationTrainer(
+            model, features, imdb_tiny, TrainConfig(epochs=60, patience=15))
+        result = trainer.train()
+        chance = 1.0 / imdb_tiny.num_classes
+        assert result.micro_f1 > chance + 0.15
+        assert result.epochs_run <= 60
+        assert result.train_seconds > 0
+        assert len(result.history["train_loss"]) == result.epochs_run
+
+    def test_loss_decreases(self, imdb_tiny):
+        set_seed(0)
+        model = build_model("mlp", imdb_tiny)
+        features = HandcraftedFeatures(imdb_tiny, 64)
+        trainer = NodeClassificationTrainer(
+            model, features, imdb_tiny, TrainConfig(epochs=40, patience=40))
+        result = trainer.train()
+        losses = result.history["train_loss"]
+        assert losses[-1] < losses[0]
+
+    def test_run_repeats_aggregates(self, imdb_tiny):
+        def factory(seed):
+            model = build_model("mlp", imdb_tiny, hidden_dim=32, out_dim=32)
+            features = HandcraftedFeatures(imdb_tiny, 32)
+            return NodeClassificationTrainer(
+                model, features, imdb_tiny,
+                TrainConfig(epochs=10, patience=10)).train()
+
+        stats = run_repeats(factory, repeats=2, base_seed=0)
+        assert 0.0 <= stats["macro_f1_mean"] <= 1.0
+        assert stats["macro_f1_std"] >= 0.0
+        assert len(stats["results"]) == 2
+
+
+class TestLinkPredictionTask:
+    def test_masked_edges_removed_from_graph(self, lastfm_tiny):
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.2, seed=0)
+        relation = lastfm_tiny.link_target
+        original = lastfm_tiny.graph.num_edges(relation)
+        remaining = task.train_graph_dataset.graph.num_edges(relation)
+        masked = task.split.test_pos.shape[1] + task.split.val_pos.shape[1]
+        assert remaining == original - masked
+
+    def test_masked_edges_not_in_symmetric_adjacency(self, lastfm_tiny):
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.2, seed=0)
+        adj = task.train_graph_dataset.graph.adjacency(symmetric=True)
+        for src, dst in task.split.test_pos.T[:20]:
+            assert adj[src, dst] == 0.0
+
+    def test_negatives_are_not_positives(self, lastfm_tiny):
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.1, seed=0)
+        positives = set(zip(*lastfm_tiny.graph.edges_global(
+            lastfm_tiny.link_target).tolist()))
+        for src, dst in task.split.test_neg.T.tolist():
+            assert (src, dst) not in positives
+
+    def test_negative_types_match_relation(self, lastfm_tiny):
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.1, seed=0)
+        graph = lastfm_tiny.graph
+        src_type, _, dst_type = lastfm_tiny.link_target
+        idx = graph.node_type_index
+        src_tid = graph.node_types.index(src_type)
+        dst_tid = graph.node_types.index(dst_type)
+        assert np.all(idx[task.split.test_neg[0]] == src_tid)
+        assert np.all(idx[task.split.test_neg[1]] == dst_tid)
+
+    def test_requires_link_target(self, acm_tiny):
+        with pytest.raises(ValueError):
+            LinkPredictionTask(acm_tiny)
+
+    def test_mask_rate_validation(self, lastfm_tiny):
+        with pytest.raises(ValueError):
+            LinkPredictionTask(lastfm_tiny, mask_rate=1.5)
+
+
+class TestLinkPredictionTrainer:
+    def test_learns_above_chance(self, lastfm_tiny):
+        set_seed(0)
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.1, seed=0)
+        model = build_model("gcn", task.train_graph_dataset)
+        features = HandcraftedFeatures(task.train_graph_dataset, 64)
+        trainer = LinkPredictionTrainer(
+            model, features, task, LinkPredConfig(epochs=40, patience=10))
+        result = trainer.train()
+        assert result.roc_auc > 0.6
+        assert 0.0 <= result.mrr <= 1.0
+
+    def test_rejects_target_only_models(self, lastfm_tiny):
+        task = LinkPredictionTask(lastfm_tiny, mask_rate=0.1, seed=0)
+        model = build_model("han", task.train_graph_dataset)
+        features = HandcraftedFeatures(task.train_graph_dataset, 64)
+        with pytest.raises(ValueError):
+            LinkPredictionTrainer(model, features, task)

@@ -1,0 +1,13 @@
+PYTHON ?= python
+
+.PHONY: verify test benchmarks
+
+# Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
+verify:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -x -q
+
+test: verify
+
+# Paper tables/figures + the sparse-speedup guard (REPRO_SCALE=tiny|small).
+benchmarks:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q

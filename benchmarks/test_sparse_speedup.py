@@ -1,0 +1,88 @@
+"""Sparse fast path — CSR spmm vs dense propagation on a large graph.
+
+Not a paper table: this benchmark guards the tensor engine's sparse
+subsystem.  It generates the synthetic large-graph scenario from
+``repro.datasets.generator.sparse_benchmark_spec`` (≥ 10k nodes, well
+under 1% adjacency density), propagates a feature matrix through the
+normalized adjacency on both paths, and asserts that
+
+* sparse and dense forward outputs agree to 1e-6, and
+* the CSR path is at least 3× faster than the dense matmul.
+
+The margin is enormous in practice (the dense path is O(N²) in both
+memory and flops), so the 3× floor stays robust on slow CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import generate, sparse_benchmark_spec
+from repro.tensor import Tensor, spmm
+
+from conftest import run_once
+
+NUM_NODES = 10_000
+FEATURE_DIM = 64
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def drive(num_nodes: int = NUM_NODES, dim: int = FEATURE_DIM) -> dict:
+    dataset = generate(sparse_benchmark_spec(num_nodes=num_nodes), seed=0)
+    graph = dataset.graph
+    adj = graph.normalized_adjacency(mode="sym", self_loops=True)
+    x = np.random.default_rng(0).normal(size=(graph.num_nodes, dim))
+
+    dense = adj.to_dense()
+    sparse_out = adj.matmul_data(x)
+    dense_out = dense @ x
+
+    sparse_seconds = _best_of(lambda: adj.matmul_data(x))
+    dense_seconds = _best_of(lambda: dense @ x)
+    # the autograd wrapper should not give the speedup back
+    x_t = Tensor(x, requires_grad=True)
+    autograd_seconds = _best_of(lambda: spmm(adj, x_t))
+
+    return {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges(),
+        "nnz": adj.nnz,
+        "density": adj.density,
+        "sparse_seconds": sparse_seconds,
+        "dense_seconds": dense_seconds,
+        "autograd_seconds": autograd_seconds,
+        "speedup": dense_seconds / sparse_seconds,
+        "max_abs_diff": float(np.abs(sparse_out - dense_out).max()),
+    }
+
+
+def test_sparse_speedup(benchmark):
+    result = run_once(benchmark, drive)
+    print()
+    print(f"nodes={result['num_nodes']}  nnz={result['nnz']}  "
+          f"density={result['density']:.4%}")
+    print(f"sparse  {result['sparse_seconds'] * 1e3:8.2f} ms")
+    print(f"autograd{result['autograd_seconds'] * 1e3:8.2f} ms")
+    print(f"dense   {result['dense_seconds'] * 1e3:8.2f} ms")
+    print(f"speedup {result['speedup']:.1f}x")
+
+    assert result["num_nodes"] >= 10_000
+    assert result["density"] <= 0.01, "benchmark graph must be sparse"
+    assert result["max_abs_diff"] <= 1e-6, (
+        "sparse and dense propagation disagree")
+    assert result["speedup"] >= 3.0, (
+        f"CSR fast path only {result['speedup']:.2f}x faster than dense")
+    # the autograd wrapper must stay within ~3x of the raw CSR kernel
+    assert result["autograd_seconds"] <= result["sparse_seconds"] * 3.0, (
+        "spmm autograd overhead is eating the sparse speedup")

@@ -8,6 +8,9 @@ neighborhood is attribute-less) and lets AutoAC search over the enlarged
 five-op space.
 
 Run:  python examples/custom_completion_op.py [--scale tiny|small]
+
+The extension points used here (``register_op``, ``SearchSpace``, and the
+model registry) are documented in ``docs/EXTENDING.md``.
 """
 
 from __future__ import annotations
@@ -15,7 +18,6 @@ from __future__ import annotations
 import argparse
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.completion import (
     CompletionOp,
@@ -25,7 +27,7 @@ from repro.completion import (
 )
 from repro.core import AutoACConfig, run_autoac
 from repro.datasets import get_dataset
-from repro.tensor import Parameter, Tensor, init
+from repro.tensor import Parameter, SparseTensor, Tensor, init
 from repro.training import TrainConfig, set_seed
 
 
@@ -43,19 +45,14 @@ class TwoHopMeanCompletion(CompletionOp):
         two_hop = (two_hop - two_hop.multiply(adj)).tocsr()  # strictly 2-hop
         two_hop.eliminate_zeros()
         two_hop.data[:] = 1.0
-        # restrict to attributed columns, then row-normalize
+        # restrict to attributed columns, row-normalize, propagate — all on
+        # the engine's CSR fast path (see docs/EXTENDING.md)
         mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
         mask[dataset.attributed_global_ids] = True
-        coo = two_hop.tocoo()
-        keep = mask[coo.col]
-        restricted = sp.coo_matrix(
-            (coo.data[keep], (coo.row[keep], coo.col[keep])),
-            shape=coo.shape).tocsr()
-        counts = np.asarray(restricted.sum(axis=1)).ravel()
-        scale = np.divide(1.0, counts, out=np.zeros_like(counts),
-                          where=counts > 0)
-        base = sp.diags(scale) @ restricted @ raw
-        self._base = base[self.missing_ids]
+        operator = (SparseTensor.from_scipy(two_hop)
+                    .restrict_columns(mask)
+                    .row_normalize())
+        self._base = operator.matmul_data(raw)[self.missing_ids]
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
 

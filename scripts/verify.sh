@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 verification wrapper (see ROADMAP.md): runs the full test suite
+# with the src/ layout on the path. Usage: scripts/verify.sh [pytest args]
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -x -q "$@"

@@ -8,6 +8,16 @@
   zero-filled attribute matrix (global, multi-hop).
 * :class:`OneHotCompletion` — learnable per-node embedding (one-hot encoding
   followed by a linear projection, fused into an embedding table).
+
+Every topology-dependent op factors as ``completed = (P X)[V⁻] @ W`` with a
+*constant* propagation operator ``P``.  ``P`` is assembled on the sparse
+fast path by default: the graph's LRU-cached CSR adjacency
+(:meth:`repro.graph.HeteroGraph.normalized_adjacency`) is column-restricted
+/ normalized with :class:`~repro.tensor.SparseTensor` transforms and the
+product ``P X`` runs through compiled CSR×dense kernels.  Passing
+``use_sparse=False`` (or flipping :data:`DENSE_FALLBACK`) materializes ``P``
+densely instead — an O(N²) reference path kept for validation and
+debugging; both paths produce the same values to machine precision.
 """
 
 from __future__ import annotations
@@ -19,38 +29,60 @@ import scipy.sparse as sp
 
 from .. import graph as G
 from ..datasets import HeteroDataset
-from ..tensor import Parameter, Tensor, init
+from ..tensor import Parameter, SparseTensor, Tensor, init
 from .base import CompletionOp
+
+#: process-wide default for the ``use_sparse`` constructor flag; flip to
+#: ``True`` to force every completion op onto the dense reference path.
+DENSE_FALLBACK = False
+
+
+def _attributed_mask(dataset: HeteroDataset) -> np.ndarray:
+    """Boolean mask over global node ids marking attributed (V⁺) nodes."""
+    mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
+    mask[dataset.attributed_global_ids] = True
+    return mask
+
+
+def _attributed_restricted_adjacency(dataset: HeteroDataset) -> SparseTensor:
+    """Global adjacency with non-attributed columns dropped (CSR)."""
+    return (dataset.graph.adjacency_sparse(symmetric=True)
+            .restrict_columns(_attributed_mask(dataset)))
 
 
 def _attributed_restriction(dataset: HeteroDataset) -> sp.csr_matrix:
-    """Adjacency columns restricted to attributed nodes (others zeroed)."""
-    mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
-    mask[dataset.attributed_global_ids] = True
-    adj = dataset.graph.adjacency(symmetric=True).tocoo()
-    keep_entries = mask[adj.col]
-    restricted = sp.coo_matrix(
-        (adj.data[keep_entries], (adj.row[keep_entries], adj.col[keep_entries])),
-        shape=adj.shape,
-    )
-    return restricted.tocsr()
+    """Scipy view of :func:`_attributed_restricted_adjacency`."""
+    return _attributed_restricted_adjacency(dataset).to_scipy()
+
+
+def _resolve_sparse_flag(use_sparse: Optional[bool]) -> bool:
+    return (not DENSE_FALLBACK) if use_sparse is None else bool(use_sparse)
+
+
+def _propagate(operator: SparseTensor, features: np.ndarray,
+               use_sparse: bool) -> np.ndarray:
+    """``operator @ features`` on the CSR fast path or the dense fallback."""
+    if use_sparse:
+        return operator.matmul_data(features)
+    return operator.to_dense() @ features
 
 
 class MeanCompletion(CompletionOp):
-    """Mean over attributed 1-hop neighbors, then a learnable transform."""
+    """Mean over attributed 1-hop neighbors, then a learnable transform.
+
+    ``P = D⁺^{-1} A⁺`` where ``A⁺`` is the adjacency restricted to
+    attributed columns and ``D⁺`` counts attributed neighbors only.
+    """
 
     name = "mean"
 
-    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 use_sparse: Optional[bool] = None) -> None:
         super().__init__(dataset, hidden_dim)
+        self.use_sparse = _resolve_sparse_flag(use_sparse)
         raw = dataset.feature_matrix_zero_filled()
-        restricted = _attributed_restriction(dataset)
-        counts = np.asarray(restricted.sum(axis=1)).ravel()
-        scale = np.zeros_like(counts)
-        nonzero = counts > 0
-        scale[nonzero] = 1.0 / counts[nonzero]
-        mean_all = sp.diags(scale) @ restricted @ raw
-        self._base = mean_all[self.missing_ids]  # constant (num_missing, d_raw)
+        operator = _attributed_restricted_adjacency(dataset).row_normalize()
+        self._base = _propagate(operator, raw, self.use_sparse)[self.missing_ids]
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
 
@@ -59,28 +91,24 @@ class MeanCompletion(CompletionOp):
 
 
 class GCNCompletion(CompletionOp):
-    """Symmetric-renormalized aggregation of attributed neighbors (Eq. 3)."""
+    """Symmetric-renormalized aggregation of attributed neighbors (Eq. 3).
+
+    ``P`` is the full-graph GCN operator ``D^{-1/2} A D^{-1/2}`` with its
+    columns restricted to attributed nodes *after* normalization, so the
+    spectral weights still reflect true degrees.
+    """
 
     name = "gcn"
 
-    def __init__(self, dataset: HeteroDataset, hidden_dim: int) -> None:
+    def __init__(self, dataset: HeteroDataset, hidden_dim: int,
+                 use_sparse: Optional[bool] = None) -> None:
         super().__init__(dataset, hidden_dim)
+        self.use_sparse = _resolve_sparse_flag(use_sparse)
         raw = dataset.feature_matrix_zero_filled()
-        adj = dataset.graph.adjacency(symmetric=True)
-        degree = np.asarray(adj.sum(axis=1)).ravel()
-        inv_sqrt = np.zeros_like(degree)
-        nonzero = degree > 0
-        inv_sqrt[nonzero] = degree[nonzero] ** -0.5
-        norm = sp.diags(inv_sqrt) @ adj @ sp.diags(inv_sqrt)
-        # restrict to attributed columns so only real attributes are mixed in
-        norm = norm.tocoo()
-        mask = np.zeros(dataset.graph.num_nodes, dtype=bool)
-        mask[dataset.attributed_global_ids] = True
-        keep = mask[norm.col]
-        norm = sp.coo_matrix((norm.data[keep], (norm.row[keep], norm.col[keep])),
-                             shape=norm.shape).tocsr()
-        gcn_all = norm @ raw
-        self._base = gcn_all[self.missing_ids]
+        operator = (dataset.graph
+                    .normalized_adjacency(mode="sym", self_loops=False)
+                    .restrict_columns(_attributed_mask(dataset)))
+        self._base = _propagate(operator, raw, self.use_sparse)[self.missing_ids]
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
 
@@ -93,19 +121,25 @@ class PPNPCompletion(CompletionOp):
 
     Uses the APPNP power iteration, which converges geometrically to the
     closed form ``alpha (I - (1-alpha) Â)^{-1} X`` without a dense inverse.
+    The normalized operator ``Â`` comes from the graph's LRU cache, so the
+    many PPNP ops built during a search share one CSR matrix.
     """
 
     name = "ppnp"
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int,
-                 alpha: float = 0.1, iterations: int = 10) -> None:
+                 alpha: float = 0.1, iterations: int = 10,
+                 use_sparse: Optional[bool] = None) -> None:
         super().__init__(dataset, hidden_dim)
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"restart probability must be in (0, 1], got {alpha}")
         self.alpha = alpha
+        self.use_sparse = _resolve_sparse_flag(use_sparse)
         raw = dataset.feature_matrix_zero_filled()
-        adj = dataset.graph.adjacency(symmetric=True)
-        diffused = G.appnp_propagate(adj, raw, alpha=alpha, iterations=iterations)
+        a_hat = dataset.graph.normalized_adjacency(mode="sym", self_loops=True)
+        operator = a_hat if self.use_sparse else a_hat.to_dense()
+        diffused = G.appnp_propagate(None, raw, alpha=alpha,
+                                     iterations=iterations, a_hat=operator)
         self._base = diffused[self.missing_ids]
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
@@ -129,6 +163,7 @@ class OneHotCompletion(CompletionOp):
 
 
 __all__ = [
+    "DENSE_FALLBACK",
     "MeanCompletion",
     "GCNCompletion",
     "PPNPCompletion",

@@ -19,13 +19,26 @@ from ..training.metrics import macro_f1, roc_auc
 
 
 class TaskAdapter(Protocol):
+    """What the bi-level search needs from a downstream task.
+
+    The searcher alternates ``train_loss`` (lower-level ``w`` updates) and
+    ``val_loss`` (upper-level ``alpha`` updates); ``val_score`` drives early
+    stopping and model selection.
+    """
+
     dataset: HeteroDataset
 
-    def train_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor: ...
+    def train_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        """Differentiable loss on the training split."""
+        ...
 
-    def val_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor: ...
+    def val_loss(self, model: BaseHGNN, features: FeatureBuilder) -> Tensor:
+        """Differentiable loss on the validation split."""
+        ...
 
-    def val_score(self, model: BaseHGNN, features: FeatureBuilder) -> float: ...
+    def val_score(self, model: BaseHGNN, features: FeatureBuilder) -> float:
+        """Scalar validation quality (higher is better); no gradient."""
+        ...
 
 
 class NodeClassificationAdapter:

@@ -52,6 +52,7 @@ class CompletionParameters:
         return prox_c1(self.values)
 
     def discrete_tensor(self, requires_grad: bool = False) -> Tensor:
+        """:meth:`discrete` wrapped as a tensor (grad flows to bar-alpha)."""
         return Tensor(self.discrete(), requires_grad=requires_grad)
 
     def node_weights(self, bar_alpha: Tensor,
@@ -95,12 +96,15 @@ class MixtureParameters:
         self.num_ops = num_ops
 
     def weights(self) -> Tensor:
+        """Softmax mixture weights over ops, one row per cluster."""
         return softmax(self.logits, axis=-1)
 
     def node_weights(self, cluster_labels: np.ndarray) -> Tensor:
+        """Per-node mixture weights via the cluster assignment."""
         return gather_rows(self.weights(), cluster_labels)
 
     def chosen_ops(self) -> np.ndarray:
+        """Argmax op index per cluster (discretization of the mixture)."""
         return self.logits.data.argmax(axis=1)
 
 

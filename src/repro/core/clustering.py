@@ -36,6 +36,7 @@ class ModularityClusteringHead(Module):
         self.lin2 = Linear(hidden_dim, num_clusters)
 
     def forward(self, h: Tensor) -> Tensor:
+        """Soft cluster assignment ``(N, K)`` from node embeddings."""
         from ..tensor import relu
         return softmax(self.lin2(relu(self.lin1(h))), axis=-1)
 

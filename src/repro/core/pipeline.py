@@ -23,21 +23,27 @@ from .search import AutoACSearcher, SearchResult
 
 @dataclass
 class AutoACResult:
+    """Outcome of a full node-classification run: search + retrain."""
+
     search: SearchResult
     final: TrainResult
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end wall time (search plus retraining)."""
         return self.search.search_seconds + self.final.train_seconds
 
 
 @dataclass
 class AutoACLinkResult:
+    """Outcome of a full link-prediction run: search + retrain."""
+
     search: SearchResult
     final: LinkPredResult
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end wall time (search plus retraining)."""
         return self.search.search_seconds + self.final.train_seconds
 
 

@@ -51,6 +51,13 @@ def retrain_link_prediction(
     space: Optional[SearchSpace] = None,
     **model_kwargs,
 ) -> LinkPredResult:
+    """Retrain from scratch on the searched assignment, for link prediction.
+
+    Mirrors :func:`retrain_node_classification`: the discrete completion
+    assignment found by the search is frozen into
+    :class:`~repro.completion.FixedAssignmentFeatures` and a fresh model is
+    trained on the edge-masked graph.
+    """
     dataset = task.train_graph_dataset
     features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
                                        space=space)

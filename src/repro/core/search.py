@@ -211,6 +211,7 @@ class AutoACSearcher:
         eps = 1e-2 / max(norm, 1e-8)
 
         def alpha_grad_at(sign: float) -> np.ndarray:
+            """Grad of train loss w.r.t. alpha at ``w ± eps·d_w``."""
             for p, base, g in zip(self._w_params, backup, d_w):
                 p.data = base + sign * eps * g if g is not None else base.copy()
             self.w_optimizer.zero_grad()
@@ -273,6 +274,12 @@ class AutoACSearcher:
 
     # ------------------------------------------------------------------
     def search(self) -> SearchResult:
+        """Run the bi-level search loop (Algorithm 1) to convergence.
+
+        Alternates lower-level ``w`` steps with upper-level ``alpha`` steps
+        (plus the clustering objective), early-stops on the validation
+        score, and returns the best discrete assignment found.
+        """
         cfg = self.config
         history: Dict[str, List[float]] = {
             "val_loss": [], "train_loss": [], "lgmoc": [], "val_score": [],

@@ -3,7 +3,7 @@
 from .acm import ACM_SPEC
 from .base import HeteroDataset, Split, stratified_split
 from .dblp import DBLP_SPEC
-from .generator import RelationSpec, SchemaSpec, generate
+from .generator import RelationSpec, SchemaSpec, generate, sparse_benchmark_spec
 from .imdb import IMDB_SPEC
 from .lastfm import LASTFM_SPEC
 from .registry import SCALES, SPECS, clear_cache, dataset_names, get_dataset
@@ -16,6 +16,7 @@ __all__ = [
     "RelationSpec",
     "SchemaSpec",
     "generate",
+    "sparse_benchmark_spec",
     "DBLP_SPEC",
     "ACM_SPEC",
     "IMDB_SPEC",

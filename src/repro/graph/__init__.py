@@ -1,8 +1,11 @@
 """``repro.graph`` — heterogeneous graph container and topology toolkit."""
 
 from .adjacency import (
+    LRUCache,
+    NORMALIZATION_MODES,
     add_self_loops,
     appnp_propagate,
+    normalize_adjacency,
     ppnp_exact,
     row_normalized_adjacency,
     sym_normalized_adjacency,
@@ -16,6 +19,9 @@ __all__ = [
     "HeteroGraph",
     "NodeTypeInfo",
     "Relation",
+    "LRUCache",
+    "NORMALIZATION_MODES",
+    "normalize_adjacency",
     "add_self_loops",
     "sym_normalized_adjacency",
     "row_normalized_adjacency",

@@ -11,10 +11,81 @@ The three topology-dependent completion operations of the paper map onto:
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import OrderedDict
+from typing import Callable, Hashable, Optional, Union
 
 import numpy as np
 import scipy.sparse as sp
+
+from ..tensor.sparse import SparseTensor, as_sparse_tensor
+
+#: normalization modes understood by :func:`normalize_adjacency` and the
+#: graph-level caches: ``"none"`` (raw binary adjacency), ``"row"``
+#: (``D^{-1} A``, mean aggregation) and ``"sym"``
+#: (``D^{-1/2} A D^{-1/2}``, GCN renormalization).
+NORMALIZATION_MODES = ("none", "row", "sym")
+
+
+class LRUCache:
+    """A tiny LRU cache for normalized adjacency blocks.
+
+    The bi-level search loop asks for the same handful of normalized
+    operators (one per completion op × normalization mode) thousands of
+    times; caching them makes re-normalization a dictionary lookup while
+    the ``maxsize`` bound keeps memory flat even when many modes/blocks
+    are probed (e.g. a sweep over per-relation metapath blocks).
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._store: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building it on a miss."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        value = builder()
+        self._store[key] = value
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def normalize_adjacency(adj: Union[SparseTensor, sp.spmatrix],
+                        mode: str = "sym",
+                        self_loops: bool = False) -> SparseTensor:
+    """Normalize an adjacency into a CSR :class:`SparseTensor`.
+
+    ``mode`` is one of :data:`NORMALIZATION_MODES`; ``self_loops`` sets the
+    diagonal to one *before* normalizing (square matrices only).
+    """
+    if mode not in NORMALIZATION_MODES:
+        raise ValueError(f"unknown normalization mode {mode!r}; "
+                         f"expected one of {NORMALIZATION_MODES}")
+    matrix = as_sparse_tensor(adj)
+    if self_loops:
+        matrix = matrix.add_self_loops()
+    if mode == "row":
+        return matrix.row_normalize()
+    if mode == "sym":
+        return matrix.sym_normalize()
+    return matrix
 
 
 def add_self_loops(adj: sp.spmatrix) -> sp.csr_matrix:
@@ -59,10 +130,15 @@ def ppnp_exact(adj: sp.spmatrix, alpha: float = 0.1) -> np.ndarray:
 
 def appnp_propagate(adj: sp.spmatrix, features: np.ndarray, alpha: float = 0.1,
                     iterations: int = 10,
-                    a_hat: Optional[sp.csr_matrix] = None) -> np.ndarray:
+                    a_hat: Optional[Union[SparseTensor, sp.csr_matrix,
+                                          np.ndarray]] = None,
+                    ) -> np.ndarray:
     """APPNP power iteration ``Z ← (1-alpha) Â Z + alpha X`` (data-level).
 
     Converges geometrically to the exact PPNP diffusion of ``features``.
+    ``a_hat`` may be a precomputed (and cached) normalized operator — a
+    scipy CSR matrix, a :class:`~repro.tensor.SparseTensor`, or a dense
+    array (the validation fallback) — in which case ``adj`` is ignored.
     """
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"restart probability must be in (0, 1], got {alpha}")
@@ -75,6 +151,9 @@ def appnp_propagate(adj: sp.spmatrix, features: np.ndarray, alpha: float = 0.1,
 
 
 __all__ = [
+    "LRUCache",
+    "NORMALIZATION_MODES",
+    "normalize_adjacency",
     "add_self_loops",
     "sym_normalized_adjacency",
     "row_normalized_adjacency",

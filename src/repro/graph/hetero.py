@@ -15,6 +15,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..tensor.sparse import SparseTensor
+from .adjacency import LRUCache, normalize_adjacency
+
 Relation = Tuple[str, str, str]  # (src_type, edge_name, dst_type)
 
 
@@ -66,6 +69,9 @@ class HeteroGraph:
 
         # caches invalidated on mutation
         self._cache: Dict[str, object] = {}
+        # LRU of normalized CSR operators, keyed by (scope, mode, flags);
+        # bounded so mode sweeps cannot grow memory without limit
+        self._norm_cache = LRUCache(maxsize=32)
 
         self.relations: List[Relation] = []
         self._edges: Dict[Relation, np.ndarray] = {}
@@ -92,6 +98,7 @@ class HeteroGraph:
         self.relations.append(relation)
         self._edges[relation] = pairs
         self._cache.clear()
+        self._norm_cache.clear()
 
     def add_reverse_relations(self, suffix: str = "_rev") -> "HeteroGraph":
         """Add a reversed copy of every relation whose reverse is missing.
@@ -206,14 +213,83 @@ class HeteroGraph:
         return self._cache[key]  # type: ignore[return-value]
 
     def biadjacency(self, relation: Relation) -> sp.csr_matrix:
-        """Per-relation biadjacency of shape ``(n_src_type, n_dst_type)``."""
+        """Per-relation biadjacency of shape ``(n_src_type, n_dst_type)``.
+
+        Memoized in the LRU cache: metapath models chain the same handful
+        of blocks every time they are (re)built during a search.  Callers
+        must treat the returned matrix as read-only.
+        """
         src_type, _, dst_type = relation
-        pairs = self._edges[relation]
-        data = np.ones(pairs.shape[1], dtype=np.float64)
-        return sp.coo_matrix(
-            (data, (pairs[0], pairs[1])),
-            shape=(self._info[src_type].count, self._info[dst_type].count),
-        ).tocsr()
+
+        def build() -> sp.csr_matrix:
+            pairs = self._edges[relation]
+            data = np.ones(pairs.shape[1], dtype=np.float64)
+            return sp.coo_matrix(
+                (data, (pairs[0], pairs[1])),
+                shape=(self._info[src_type].count, self._info[dst_type].count),
+            ).tocsr()
+
+        return self._norm_cache.get(("biadjacency", relation), build)
+
+    # ------------------------------------------------------------------
+    # Cached sparse (CSR) views — the propagation fast path
+    # ------------------------------------------------------------------
+    def adjacency_sparse(self, symmetric: bool = True) -> SparseTensor:
+        """Global adjacency as a :class:`~repro.tensor.SparseTensor`."""
+        key = ("adjacency_sparse", symmetric)
+        return self._norm_cache.get(
+            key, lambda: SparseTensor.from_scipy(self.adjacency(symmetric)))
+
+    def normalized_adjacency(self, mode: str = "sym",
+                             self_loops: bool = False,
+                             symmetric: bool = True) -> SparseTensor:
+        """Cached normalized global adjacency (CSR).
+
+        ``mode`` follows :data:`repro.graph.NORMALIZATION_MODES` (``"none"``,
+        ``"row"``, ``"sym"``).  Results are memoized in an LRU cache keyed by
+        ``(mode, self_loops, symmetric)`` so the search loop — which builds
+        one GNN and several completion operators per epoch over the same
+        graph — never re-normalizes.  The cache is invalidated whenever a
+        relation is added.
+        """
+        key = ("global", mode, self_loops, symmetric)
+        return self._norm_cache.get(
+            key,
+            lambda: normalize_adjacency(self.adjacency_sparse(symmetric),
+                                        mode=mode, self_loops=self_loops))
+
+    def block_adjacency(self, src_type: str, dst_type: str,
+                        mode: str = "none",
+                        self_loops: bool = False) -> SparseTensor:
+        """Cached per-(src-type, dst-type) adjacency block (CSR).
+
+        Sums the biadjacency of every relation connecting ``src_type`` to
+        ``dst_type`` (binarized), then applies ``mode`` normalization.
+        Shape is ``(n_src_type, n_dst_type)``; ``self_loops`` is only legal
+        for square blocks (``src_type == dst_type``).
+        """
+        if src_type not in self._info or dst_type not in self._info:
+            raise KeyError(f"unknown node type in block "
+                           f"({src_type!r}, {dst_type!r})")
+        if self_loops and src_type != dst_type:
+            raise ValueError(
+                f"self loops are only meaningful on same-type blocks, got "
+                f"({src_type!r}, {dst_type!r})")
+        key = ("block", src_type, dst_type, mode, self_loops)
+
+        def build() -> SparseTensor:
+            n_src = self._info[src_type].count
+            n_dst = self._info[dst_type].count
+            block = sp.csr_matrix((n_src, n_dst), dtype=np.float64)
+            for relation in self.relations:
+                if relation[0] == src_type and relation[2] == dst_type:
+                    block = block + self.biadjacency(relation)
+            if block.nnz:
+                block.data[:] = 1.0
+            return normalize_adjacency(block, mode=mode,
+                                       self_loops=self_loops)
+
+        return self._norm_cache.get(key, build)
 
     def degrees(self, symmetric: bool = True) -> np.ndarray:
         adj = self.adjacency(symmetric=symmetric)

@@ -75,7 +75,8 @@ def compose_biadjacency(graph: HeteroGraph, type_chain: Sequence[str],
         step = graph.biadjacency(relation)
         if reversed_:
             step = step.T.tocsr()
-        product = step if product is None else (product @ step).tocsr()
+        # copy the first step: biadjacency() is cached and must stay pristine
+        product = step.copy() if product is None else (product @ step).tocsr()
         if binarize:
             product.data[:] = 1.0
     assert product is not None

@@ -1,10 +1,15 @@
 """``repro.tensor`` — a numpy-backed autograd engine.
 
 This subpackage replaces PyTorch for the AutoAC reproduction: reverse-mode
-autodiff (:mod:`.tensor`), NN functional ops (:mod:`.functional`), sparse
-matmul (:mod:`.sparse`), modules (:mod:`.module`), initializers
-(:mod:`.init`), optimizers (:mod:`.optim`) and a finite-difference
-gradient checker (:mod:`.gradcheck`).
+autodiff (:mod:`.tensor`), NN functional ops (:mod:`.functional`), the CSR
+sparse subsystem (:mod:`.sparse` — :class:`SparseTensor` plus the
+autograd-aware :func:`spmm`/:func:`weighted_spmm` fast paths), modules
+(:mod:`.module`), initializers (:mod:`.init`), optimizers (:mod:`.optim`)
+and a finite-difference gradient checker (:mod:`.gradcheck`).
+
+Differentiability note: sparse matrices are always *data* — gradients flow
+only through dense operands (and, for :func:`weighted_spmm`, through the
+per-edge value tensor); see :mod:`.sparse` for the full contract.
 """
 
 from . import functional, init
@@ -37,7 +42,13 @@ from .module import (
 )
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
 from .random import get_rng, manual_seed
-from .sparse import sparse_dense_matmul_data, spmm
+from .sparse import (
+    SparseTensor,
+    as_sparse_tensor,
+    sparse_dense_matmul_data,
+    spmm,
+    weighted_spmm,
+)
 from .tensor import (
     Tensor,
     absolute,
@@ -102,6 +113,9 @@ __all__ = [
     "segment_softmax",
     "segment_weighted_mean",
     "spmm",
+    "weighted_spmm",
+    "SparseTensor",
+    "as_sparse_tensor",
     "sparse_dense_matmul_data",
     "Parameter",
     "Module",

@@ -45,6 +45,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable ``log(softmax(x))`` with a fused backward."""
     x = ensure_tensor(x)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -21,38 +21,46 @@ def _fan_in_out(shape) -> tuple[int, int]:
 
 
 def zeros(shape) -> np.ndarray:
+    """All-zeros array of ``shape`` (float64, like every engine tensor)."""
     return np.zeros(shape, dtype=np.float64)
 
 
 def ones(shape) -> np.ndarray:
+    """All-ones array of ``shape``."""
     return np.ones(shape, dtype=np.float64)
 
 
 def constant(shape, value: float) -> np.ndarray:
+    """Array of ``shape`` filled with ``value``."""
     return np.full(shape, value, dtype=np.float64)
 
 
 def uniform(shape, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform samples in ``[low, high)`` from the engine RNG."""
     return get_rng().uniform(low, high, size=shape)
 
 
 def normal(shape, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Gaussian samples ``N(mean, std²)`` from the engine RNG."""
     return get_rng().normal(mean, std, size=shape)
 
 
 def xavier_uniform(shape, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: ``U(±gain·sqrt(6/(fan_in+fan_out)))``."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
     return get_rng().uniform(-bound, bound, size=shape)
 
 
 def xavier_normal(shape, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: ``N(0, gain²·2/(fan_in+fan_out))``."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
     return get_rng().normal(0.0, std, size=shape)
 
 
 def kaiming_uniform(shape, negative_slope: float = 0.0) -> np.ndarray:
+    """He uniform for (leaky-)ReLU fan-in scaling."""
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     bound = gain * math.sqrt(3.0 / fan_in)
@@ -60,6 +68,7 @@ def kaiming_uniform(shape, negative_slope: float = 0.0) -> np.ndarray:
 
 
 def kaiming_normal(shape, negative_slope: float = 0.0) -> np.ndarray:
+    """He normal for (leaky-)ReLU fan-in scaling."""
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     std = gain / math.sqrt(fan_in)

@@ -37,6 +37,7 @@ class Module:
 
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):
+        """Compute the module output; subclasses must override."""
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
@@ -44,39 +45,48 @@ class Module:
 
     # ------------------------------------------------------------------
     def parameters(self) -> List[Parameter]:
+        """Every trainable :class:`Parameter` of this module tree."""
         return [param for _, param in self.named_parameters()]
 
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
         for name, param in self._parameters.items():
             yield (f"{prefix}{name}", param)
         for name, module in self._modules.items():
             yield from module.named_parameters(prefix=f"{prefix}{name}.")
 
     def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant, depth first."""
         yield self
         for child in self._modules.values():
             yield from child.modules()
 
     def zero_grad(self) -> None:
+        """Clear the gradients of every parameter in the tree."""
         for param in self.parameters():
             param.zero_grad()
 
     def train(self, mode: bool = True) -> "Module":
+        """Set ``training`` on the whole tree (affects dropout et al.)."""
         for module in self.modules():
             object.__setattr__(module, "training", mode)
         return self
 
     def eval(self) -> "Module":
+        """Switch the whole tree to inference mode."""
         return self.train(False)
 
     def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
         return sum(param.size for param in self.parameters())
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict matching)."""
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -164,6 +174,8 @@ class Linear(Module):
 
 
 class Dropout(Module):
+    """Inverted dropout; active only while ``self.training`` is True."""
+
     def __init__(self, p: float = 0.5) -> None:
         super().__init__()
         self.p = p
@@ -176,6 +188,8 @@ class Dropout(Module):
 
 
 class LayerNorm(Module):
+    """Layer normalization over the last axis with learnable scale/shift."""
+
     def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
         super().__init__()
         self.eps = eps
@@ -187,6 +201,8 @@ class LayerNorm(Module):
 
 
 class Sequential(Module):
+    """Chain of modules applied left to right."""
+
     def __init__(self, *modules: Module) -> None:
         super().__init__()
         self._items: List[Module] = []

@@ -28,14 +28,18 @@ class Optimizer:
         self.lr = lr
 
     def zero_grad(self) -> None:
+        """Reset the gradient of every managed parameter to ``None``."""
         for param in self.params:
             param.zero_grad()
 
     def step(self) -> None:
+        """Apply one update from the accumulated gradients (in place)."""
         raise NotImplementedError
 
 
 class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and L2 decay."""
+
     def __init__(self, params: Iterable[Tensor], lr: float,
                  momentum: float = 0.0, weight_decay: float = 0.0) -> None:
         super().__init__(params, lr)
@@ -58,6 +62,8 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
+    """Adam (Kingma & Ba) with classic L2 ``weight_decay`` on the gradient."""
+
     def __init__(self, params: Iterable[Tensor], lr: float = 1e-3,
                  betas: tuple = (0.9, 0.999), eps: float = 1e-8,
                  weight_decay: float = 0.0) -> None:

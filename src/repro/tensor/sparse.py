@@ -1,39 +1,384 @@
 """Sparse-matrix support for the autograd engine.
 
 Heterogeneous GNNs multiply large, fixed adjacency matrices with dense
-feature tensors.  The adjacency is data (never optimized), so we only need
-the gradient with respect to the dense operand:
+feature tensors.  Storing those adjacencies densely is an O(N²) wall in
+both memory and compute, so this module provides a first-class CSR type,
+:class:`SparseTensor`, plus two autograd-aware products:
 
-    ``y = A @ x``  →  ``dL/dx = A.T @ dL/dy``.
+* :func:`spmm` — ``y = A @ x`` where ``A`` is *data* (never optimized).
+  Only the dense operand is differentiable:
+  ``dL/dx = A.T @ dL/dy``.
+* :func:`weighted_spmm` — ``y = A(w) @ x`` where the sparsity *pattern* of
+  ``A`` is fixed but its per-edge values ``w`` are a learnable
+  :class:`~repro.tensor.tensor.Tensor` (attention coefficients).  Both
+  operands are differentiable:
+  ``dL/dx = A(w).T @ dL/dy`` and ``dL/dw_e = <dL/dy[row_e], x[col_e]>``.
 
-For attention models the per-edge coefficients *are* learned; those paths
-use the edge-list primitives in :mod:`repro.tensor.functional` instead.
+Differentiability contract of :class:`SparseTensor` itself: the structure
+(``indptr``/``indices``) and stored values are plain numpy data and never
+carry gradients.  Gradients only flow through the dense operands of
+:func:`spmm` / :meth:`SparseTensor.spmm` and, for :func:`weighted_spmm`,
+through the externally supplied value tensor.  Normalization helpers
+(:meth:`SparseTensor.row_normalize`, :meth:`SparseTensor.sym_normalize`)
+are data-level transforms that return new constants.
+
+The CSR kernels themselves are delegated to :mod:`scipy.sparse`, whose
+compiled matmul is the fastest primitive available in this environment.
 """
 
 from __future__ import annotations
+
+from typing import Optional, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor, ensure_tensor, is_grad_enabled
 
+SparseLike = Union["SparseTensor", sp.spmatrix]
 
-def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
-    """Sparse ``matrix`` (constant) times dense ``x`` (differentiable)."""
+
+class SparseTensor:
+    """An immutable CSR matrix used as constant graph data.
+
+    Parameters
+    ----------
+    indptr, indices, values:
+        Standard CSR arrays.  ``values`` may contain duplicate
+        ``(row, col)`` entries (multigraph edges); products sum them,
+        which is exactly the aggregation semantics message passing needs.
+    shape:
+        ``(rows, cols)``.
+
+    Instances are treated as immutable: every transform
+    (:meth:`row_normalize`, :meth:`restrict_columns`, ...) returns a new
+    ``SparseTensor``.  The transpose is computed lazily and cached because
+    every backward pass of :func:`spmm` needs it.
+    """
+
+    __slots__ = ("indptr", "indices", "values", "shape",
+                 "_transpose", "_row_of_nnz")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 values: np.ndarray, shape: Tuple[int, int]) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        if self.indptr.shape[0] != self.shape[0] + 1:
+            raise ValueError(
+                f"indptr length {self.indptr.shape[0]} does not match "
+                f"{self.shape[0]} rows")
+        if self.indices.shape[0] != self.values.shape[0]:
+            raise ValueError("indices and values must have equal length")
+        self._transpose: Optional["SparseTensor"] = None
+        self._row_of_nnz: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scipy(cls, matrix: sp.spmatrix) -> "SparseTensor":
+        """Wrap any scipy sparse matrix (converted to CSR)."""
+        csr = matrix.tocsr()
+        return cls(csr.indptr, csr.indices, csr.data, csr.shape)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "SparseTensor":
+        """Compress a dense matrix, dropping exact zeros."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        return cls.from_scipy(sp.csr_matrix(dense))
+
+    @classmethod
+    def from_edges(cls, rows: np.ndarray, cols: np.ndarray,
+                   shape: Tuple[int, int],
+                   values: Optional[np.ndarray] = None) -> "SparseTensor":
+        """Build from an edge list; duplicate edges are *kept* (they sum)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if values is None:
+            values = np.ones(rows.shape[0], dtype=np.float64)
+        order = np.argsort(rows, kind="stable")
+        counts = np.bincount(rows, minlength=shape[0])
+        indptr = np.zeros(shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, cols[order], np.asarray(values, dtype=np.float64)[order],
+                   shape)
+
+    @classmethod
+    def eye(cls, n: int) -> "SparseTensor":
+        """Sparse identity of size ``n``."""
+        return cls.from_scipy(sp.identity(n, format="csr"))
+
+    # ------------------------------------------------------------------
+    # Introspection / conversion
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def density(self) -> float:
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    @property
+    def T(self) -> "SparseTensor":
+        """Cached transpose (CSC view re-expressed as CSR)."""
+        if self._transpose is None:
+            transposed = SparseTensor.from_scipy(self.to_scipy().T.tocsr())
+            transposed._transpose = self
+            self._transpose = transposed
+        return self._transpose
+
+    @property
+    def row_of_nnz(self) -> np.ndarray:
+        """Row index of every stored entry (cached; used by backward passes)."""
+        if self._row_of_nnz is None:
+            self._row_of_nnz = np.repeat(
+                np.arange(self.shape[0], dtype=np.int64),
+                np.diff(self.indptr))
+        return self._row_of_nnz
+
+    def to_scipy(self) -> sp.csr_matrix:
+        """Zero-copy view as a :class:`scipy.sparse.csr_matrix`."""
+        return sp.csr_matrix((self.values, self.indices, self.indptr),
+                             shape=self.shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense matrix (use only on small graphs)."""
+        return self.to_scipy().toarray()
+
+    def with_values(self, values: np.ndarray) -> "SparseTensor":
+        """Same sparsity pattern, new entry values (shares index arrays)."""
+        out = SparseTensor(self.indptr, self.indices, values, self.shape)
+        out._row_of_nnz = self._row_of_nnz
+        return out
+
+    def copy(self) -> "SparseTensor":
+        return SparseTensor(self.indptr.copy(), self.indices.copy(),
+                            self.values.copy(), self.shape)
+
+    def __repr__(self) -> str:
+        return (f"SparseTensor(shape={self.shape}, nnz={self.nnz}, "
+                f"density={self.density:.2e})")
+
+    # ------------------------------------------------------------------
+    # Degree / normalization helpers (data-level, return new constants)
+    # ------------------------------------------------------------------
+    def row_sums(self) -> np.ndarray:
+        """Out-degree vector ``A @ 1`` (duplicates included)."""
+        return np.bincount(self.row_of_nnz, weights=self.values,
+                           minlength=self.shape[0])
+
+    def col_sums(self) -> np.ndarray:
+        """In-degree vector ``1^T A``."""
+        return np.bincount(self.indices, weights=self.values,
+                           minlength=self.shape[1])
+
+    def scale_rows(self, factors: np.ndarray) -> "SparseTensor":
+        """``diag(factors) @ A`` without forming the diagonal matrix."""
+        factors = np.asarray(factors, dtype=np.float64)
+        return self.with_values(self.values * factors[self.row_of_nnz])
+
+    def scale_cols(self, factors: np.ndarray) -> "SparseTensor":
+        """``A @ diag(factors)`` without forming the diagonal matrix."""
+        factors = np.asarray(factors, dtype=np.float64)
+        return self.with_values(self.values * factors[self.indices])
+
+    def row_normalize(self) -> "SparseTensor":
+        """``D^{-1} A`` — the mean-aggregation operator; empty rows stay 0."""
+        degree = self.row_sums()
+        inv = np.divide(1.0, degree, out=np.zeros_like(degree),
+                        where=degree > 0)
+        return self.scale_rows(inv)
+
+    def sym_normalize(self) -> "SparseTensor":
+        """``D^{-1/2} A D^{-1/2}`` (Kipf & Welling); zero degrees stay 0.
+
+        Row and column degrees are computed independently, so this is also
+        correct for rectangular biadjacency blocks.
+        """
+        row_deg = self.row_sums()
+        col_deg = self.col_sums()
+        inv_row = np.zeros_like(row_deg)
+        nonzero = row_deg > 0
+        inv_row[nonzero] = row_deg[nonzero] ** -0.5
+        inv_col = np.zeros_like(col_deg)
+        nonzero = col_deg > 0
+        inv_col[nonzero] = col_deg[nonzero] ** -0.5
+        return self.scale_rows(inv_row).scale_cols(inv_col)
+
+    def add_self_loops(self, weight: float = 1.0) -> "SparseTensor":
+        """Square matrices only: set the diagonal to ``weight``."""
+        if self.shape[0] != self.shape[1]:
+            raise ValueError("self loops require a square matrix")
+        csr = self.to_scipy().tolil()
+        csr.setdiag(weight)
+        return SparseTensor.from_scipy(csr.tocsr())
+
+    def restrict_columns(self, keep: np.ndarray) -> "SparseTensor":
+        """Zero out (drop) every entry whose column is not in ``keep``.
+
+        ``keep`` is a boolean mask of length ``cols``.  Used to restrict
+        aggregation to attributed neighbors during attribute completion.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape[0] != self.shape[1]:
+            raise ValueError("mask length must equal the column count")
+        entry_mask = keep[self.indices]
+        counts = np.bincount(self.row_of_nnz[entry_mask],
+                             minlength=self.shape[0])
+        indptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return SparseTensor(indptr, self.indices[entry_mask],
+                            self.values[entry_mask], self.shape)
+
+    def eliminate_zeros(self) -> "SparseTensor":
+        """Drop stored entries whose value is exactly zero."""
+        csr = self.to_scipy().copy()
+        csr.eliminate_zeros()
+        return SparseTensor.from_scipy(csr)
+
+    # ------------------------------------------------------------------
+    # Products
+    # ------------------------------------------------------------------
+    def matmul_data(self, x: np.ndarray) -> np.ndarray:
+        """Plain (non-differentiable) CSR × dense product."""
+        return self.to_scipy() @ np.asarray(x)
+
+    def spmm(self, x: Union[Tensor, np.ndarray]) -> Tensor:
+        """Autograd-aware ``self @ x`` (gradient w.r.t. ``x`` only)."""
+        return spmm(self, x)
+
+    def __matmul__(self, x):
+        if isinstance(x, Tensor):
+            return spmm(self, x)
+        if isinstance(x, np.ndarray):
+            return self.matmul_data(x)
+        return NotImplemented
+
+
+def as_sparse_tensor(matrix: SparseLike) -> SparseTensor:
+    """Coerce a scipy matrix into a :class:`SparseTensor` (no-op if one)."""
+    if isinstance(matrix, SparseTensor):
+        return matrix
+    return SparseTensor.from_scipy(matrix)
+
+
+def spmm(matrix: SparseLike, x: Union[Tensor, np.ndarray]) -> Tensor:
+    """Sparse ``matrix`` (constant) times dense ``x`` (differentiable).
+
+    Accepts either a :class:`SparseTensor` or any scipy sparse matrix.
+    The backward pass multiplies by the cached transpose:
+    ``dL/dx = A.T @ dL/dy``.
+    """
     x = ensure_tensor(x)
-    matrix = matrix.tocsr()
-    out = Tensor(matrix @ x.data, requires_grad=is_grad_enabled() and x.requires_grad)
+    matrix = as_sparse_tensor(matrix)
+    out = Tensor(matrix.matmul_data(x.data),
+                 requires_grad=is_grad_enabled() and x.requires_grad)
     if out.requires_grad:
-        matrix_t = matrix.T.tocsr()
+        matrix_t = matrix.T
         def backward(grad: np.ndarray) -> None:
-            x.accumulate_grad(matrix_t @ grad)
+            x.accumulate_grad(matrix_t.matmul_data(grad))
         out._rig((x,), backward)
     return out
 
 
-def sparse_dense_matmul_data(matrix: sp.spmatrix, x: np.ndarray) -> np.ndarray:
+def weighted_spmm(pattern: SparseTensor, values: Tensor, x: Tensor) -> Tensor:
+    """``A(values) @ x`` with a fixed sparsity pattern and learnable values.
+
+    This is the CSR fast path for attention-style aggregation
+    ``out[r] = Σ_e values[e] · x[pattern.indices[e]]`` summed over the
+    stored entries ``e`` of row ``r`` (duplicate ``(row, col)`` entries are
+    legal and sum, which matches multigraph message passing).
+
+    Shapes
+    ------
+    * ``values``: ``(nnz,)`` with ``x``: ``(cols, d)`` → ``(rows, d)``; or
+    * ``values``: ``(nnz, H)`` with ``x``: ``(cols, H, d)`` → ``(rows, H, d)``
+      (one independent product per head ``h``).
+
+    Both ``values`` and ``x`` are differentiable; ``pattern``'s structure
+    and stored values are ignored as data (only ``indptr``/``indices``
+    matter).
+    """
+    values = ensure_tensor(values)
+    x = ensure_tensor(x)
+    if x.data.shape[0] != pattern.shape[1]:
+        raise ValueError(
+            f"dense operand has {x.data.shape[0]} rows but the pattern has "
+            f"{pattern.shape[1]} columns")
+    if values.data.shape[0] != pattern.nnz:
+        raise ValueError(
+            f"got {values.data.shape[0]} values for a pattern with "
+            f"{pattern.nnz} stored entries")
+    indices, indptr = pattern.indices, pattern.indptr
+    rows = pattern.shape[0]
+    row_of_nnz = pattern.row_of_nnz
+
+    def forward_data(vals: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        mat = sp.csr_matrix((vals, indices, indptr),
+                            shape=(rows, dense.shape[0]))
+        return mat @ dense
+
+    multi_head = values.data.ndim == 2
+    if multi_head:
+        if x.data.ndim != 3 or x.data.shape[1] != values.data.shape[1]:
+            raise ValueError(
+                f"multi-head weighted_spmm needs values (nnz, H) and "
+                f"x (cols, H, d); got {values.shape} and {x.shape}")
+        heads = values.data.shape[1]
+        out_data = np.empty((rows, heads, x.data.shape[2]))
+        for h in range(heads):
+            out_data[:, h, :] = forward_data(values.data[:, h], x.data[:, h, :])
+    else:
+        if x.data.ndim != 2:
+            raise ValueError("weighted_spmm needs a 2-D dense operand")
+        out_data = forward_data(values.data, x.data)
+
+    out = Tensor(out_data, requires_grad=is_grad_enabled()
+                 and (values.requires_grad or x.requires_grad))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            if multi_head:
+                if values.requires_grad:
+                    # dL/dw[e,h] = <grad[row_e, h], x[col_e, h]>
+                    gv = np.einsum("ehd,ehd->eh", grad[row_of_nnz],
+                                   x.data[indices])
+                    values.accumulate_grad(gv)
+                if x.requires_grad:
+                    gx = np.empty_like(x.data)
+                    for h in range(x.data.shape[1]):
+                        mat = sp.csr_matrix(
+                            (values.data[:, h], indices, indptr),
+                            shape=(rows, x.data.shape[0]))
+                        gx[:, h, :] = mat.T @ grad[:, h, :]
+                    x.accumulate_grad(gx)
+            else:
+                if values.requires_grad:
+                    gv = np.einsum("ed,ed->e", grad[row_of_nnz],
+                                   x.data[indices])
+                    values.accumulate_grad(gv)
+                if x.requires_grad:
+                    mat = sp.csr_matrix((values.data, indices, indptr),
+                                        shape=(rows, x.data.shape[0]))
+                    x.accumulate_grad(mat.T @ grad)
+        out._rig((values, x), backward)
+    return out
+
+
+def sparse_dense_matmul_data(matrix: SparseLike, x: np.ndarray) -> np.ndarray:
     """Plain (non-differentiable) sparse × dense product."""
-    return matrix.tocsr() @ x
+    return as_sparse_tensor(matrix).matmul_data(x)
 
 
-__all__ = ["spmm", "sparse_dense_matmul_data"]
+__all__ = [
+    "SparseTensor",
+    "as_sparse_tensor",
+    "spmm",
+    "weighted_spmm",
+    "sparse_dense_matmul_data",
+]

@@ -1,0 +1,152 @@
+"""Sparse fast path vs dense fallback: equivalence and caching.
+
+The CSR propagation path must be a pure optimization — every consumer
+(completion ops, GCN, SimpleHGN) exposes a dense fallback flag, and this
+module pins down that both paths produce the same numbers on seeded
+small graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.completion import GCNCompletion, MeanCompletion, PPNPCompletion
+from repro.graph import LRUCache
+from repro.models import build_model
+from repro.tensor import Tensor
+from repro.training import set_seed
+
+
+@pytest.mark.parametrize("op_cls", [MeanCompletion, GCNCompletion,
+                                    PPNPCompletion])
+def test_completion_sparse_matches_dense(op_cls, imdb_tiny):
+    set_seed(0)
+    sparse_op = op_cls(imdb_tiny, hidden_dim=16, use_sparse=True)
+    set_seed(0)
+    dense_op = op_cls(imdb_tiny, hidden_dim=16, use_sparse=False)
+    np.testing.assert_allclose(sparse_op._base, dense_op._base, atol=1e-6)
+    np.testing.assert_allclose(sparse_op().data, dense_op().data, atol=1e-6)
+
+
+def test_gcn_model_sparse_matches_dense(imdb_tiny):
+    n = imdb_tiny.graph.num_nodes
+    h0 = np.random.default_rng(0).normal(size=(n, 32))
+    set_seed(0)
+    sparse_model = build_model("gcn", imdb_tiny, hidden_dim=32, out_dim=32,
+                               use_sparse=True)
+    set_seed(0)
+    dense_model = build_model("gcn", imdb_tiny, hidden_dim=32, out_dim=32,
+                              use_sparse=False)
+    sparse_model.eval()
+    dense_model.eval()
+    np.testing.assert_allclose(sparse_model(Tensor(h0)).data,
+                               dense_model(Tensor(h0)).data, atol=1e-6)
+
+
+def test_simple_hgn_sparse_matches_scatter(imdb_tiny):
+    n = imdb_tiny.graph.num_nodes
+    h0 = np.random.default_rng(1).normal(size=(n, 32))
+    set_seed(0)
+    sparse_model = build_model("simple_hgn", imdb_tiny, hidden_dim=32,
+                               out_dim=32, use_sparse=True)
+    set_seed(0)
+    scatter_model = build_model("simple_hgn", imdb_tiny, hidden_dim=32,
+                                out_dim=32, use_sparse=False)
+    sparse_model.eval()
+    scatter_model.eval()
+
+    x_sparse = Tensor(h0, requires_grad=True)
+    x_scatter = Tensor(h0.copy(), requires_grad=True)
+    out_sparse = sparse_model(x_sparse)
+    out_scatter = scatter_model(x_scatter)
+    np.testing.assert_allclose(out_sparse.data, out_scatter.data, atol=1e-6)
+
+    out_sparse.sum().backward()
+    out_scatter.sum().backward()
+    np.testing.assert_allclose(x_sparse.grad, x_scatter.grad, atol=1e-6)
+    for (name, p_sp), (_, p_sc) in zip(
+            sparse_model.named_parameters(), scatter_model.named_parameters()):
+        assert p_sp.grad is not None, name
+        np.testing.assert_allclose(p_sp.grad, p_sc.grad, atol=1e-6,
+                                   err_msg=name)
+
+
+class TestNormalizedAdjacencyCache:
+    def test_repeated_requests_hit_cache(self, imdb_tiny):
+        graph = imdb_tiny.graph
+        first = graph.normalized_adjacency(mode="sym", self_loops=True)
+        second = graph.normalized_adjacency(mode="sym", self_loops=True)
+        assert first is second
+
+    def test_modes_are_distinct_entries(self, imdb_tiny):
+        graph = imdb_tiny.graph
+        sym = graph.normalized_adjacency(mode="sym")
+        row = graph.normalized_adjacency(mode="row")
+        assert sym is not row
+        row_sums = row.row_sums()
+        assert np.all((np.abs(row_sums - 1.0) < 1e-12) | (row_sums == 0.0))
+
+    def test_unknown_mode_rejected(self, imdb_tiny):
+        with pytest.raises(ValueError):
+            imdb_tiny.graph.normalized_adjacency(mode="bogus")
+
+    def test_block_adjacency_shape_and_cache(self, imdb_tiny):
+        graph = imdb_tiny.graph
+        src_type, dst_type = graph.node_types[0], graph.node_types[1]
+        block = graph.block_adjacency(src_type, dst_type, mode="row")
+        assert block.shape == (graph.num_nodes_of(src_type),
+                               graph.num_nodes_of(dst_type))
+        assert graph.block_adjacency(src_type, dst_type, mode="row") is block
+
+    def test_block_adjacency_rejects_cross_type_self_loops(self, imdb_tiny):
+        graph = imdb_tiny.graph
+        with pytest.raises(ValueError):
+            graph.block_adjacency(graph.node_types[0], graph.node_types[1],
+                                  self_loops=True)
+
+    def test_mutation_invalidates(self, toy_graph):
+        before = toy_graph.normalized_adjacency(mode="sym")
+        pairs = toy_graph.edges_local(toy_graph.relations[0])
+        toy_graph.add_relation(
+            (toy_graph.relations[0][0], "extra", toy_graph.relations[0][2]),
+            pairs[:, :1])
+        after = toy_graph.normalized_adjacency(mode="sym")
+        assert before is not after
+
+
+class TestBiadjacencyCacheSafety:
+    def test_compose_biadjacency_does_not_mutate_cache(self):
+        from repro.graph import HeteroGraph
+        from repro.graph.metapath import compose_biadjacency
+
+        # duplicate (0, 0) edge → cached biadjacency entry of 2.0
+        edges = {("user", "likes", "item"):
+                 np.array([[0, 0, 1], [0, 0, 1]])}
+        graph = HeteroGraph({"user": 2, "item": 2}, edges)
+        relation = graph.relations[0]
+        before = graph.biadjacency(relation).toarray().copy()
+        compose_biadjacency(graph, ("user", "item"), binarize=True)
+        np.testing.assert_array_equal(graph.biadjacency(relation).toarray(),
+                                      before)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.get("a", lambda: 1)
+        cache.get("b", lambda: 2)
+        cache.get("a", lambda: 1)  # refresh "a"
+        cache.get("c", lambda: 3)  # evicts "b"
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_hit_and_miss_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.get("k", lambda: 1)
+        cache.get("k", lambda: 1)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)

@@ -7,6 +7,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.tensor import (
+    SparseTensor,
     Tensor,
     absolute,
     clip,
@@ -26,6 +27,7 @@ from repro.tensor import (
     sqrt,
     stack,
     tanh,
+    weighted_spmm,
     where,
 )
 
@@ -216,6 +218,106 @@ class TestSparse:
         mat = sp.random(4, 4, density=0.5, random_state=1, format="csr")
         x = _t((4, 2))
         np.testing.assert_allclose(spmm(mat, x).data, mat.toarray() @ x.data)
+
+
+class TestSparseTensor:
+    def _random(self, rows=6, cols=5, density=0.4, seed=3):
+        return SparseTensor.from_scipy(
+            sp.random(rows, cols, density=density, random_state=seed,
+                      format="csr"))
+
+    def test_round_trips(self):
+        mat = self._random()
+        np.testing.assert_allclose(
+            SparseTensor.from_dense(mat.to_dense()).to_dense(), mat.to_dense())
+        np.testing.assert_allclose(mat.to_scipy().toarray(), mat.to_dense())
+        np.testing.assert_allclose(mat.T.to_dense(), mat.to_dense().T)
+        assert mat.T.T is mat  # transpose is cached both ways
+
+    def test_spmm_gradcheck_matches_dense_path(self):
+        mat = self._random()
+        x = _t((5, 3))
+        gradcheck(lambda t: spmm(mat, t), [x])
+        # identical values AND identical gradients vs the dense reference
+        dense = Tensor(mat.to_dense())
+        x_sparse = _t((5, 3))
+        x_dense = Tensor(x_sparse.data.copy(), requires_grad=True)
+        out_sparse = spmm(mat, x_sparse)
+        out_dense = dense @ x_dense
+        np.testing.assert_allclose(out_sparse.data, out_dense.data, atol=1e-12)
+        out_sparse.sum().backward()
+        out_dense.sum().backward()
+        np.testing.assert_allclose(x_sparse.grad, x_dense.grad, atol=1e-12)
+
+    def test_normalizations(self):
+        mat = self._random(rows=7, cols=7, density=0.3, seed=5)
+        row = mat.row_normalize().row_sums()
+        assert np.all((np.abs(row - 1.0) < 1e-12) | (row == 0.0))
+        dense = mat.to_dense()
+        deg_r = dense.sum(axis=1)
+        deg_c = dense.sum(axis=0)
+        inv_r = np.zeros_like(deg_r)
+        inv_r[deg_r > 0] = deg_r[deg_r > 0] ** -0.5
+        inv_c = np.zeros_like(deg_c)
+        inv_c[deg_c > 0] = deg_c[deg_c > 0] ** -0.5
+        np.testing.assert_allclose(mat.sym_normalize().to_dense(),
+                                   inv_r[:, None] * dense * inv_c[None, :])
+
+    def test_self_loops_and_restrict_columns(self):
+        mat = self._random(rows=5, cols=5, density=0.3, seed=9)
+        looped = mat.add_self_loops()
+        np.testing.assert_allclose(np.diag(looped.to_dense()), 1.0)
+        keep = np.array([True, False, True, False, True])
+        expected = mat.to_dense().copy()
+        expected[:, ~keep] = 0.0
+        np.testing.assert_allclose(mat.restrict_columns(keep).to_dense(),
+                                   expected)
+
+    def test_weighted_spmm_gradcheck_both_operands(self):
+        # duplicate (row, col) entries must sum, like multigraph edges
+        rows = np.array([0, 0, 1, 2, 2, 2])
+        cols = np.array([1, 1, 0, 2, 1, 2])
+        pattern = SparseTensor.from_edges(rows, cols, (3, 3))
+        values = _t((6,))
+        x = _t((3, 4))
+        gradcheck(lambda v, t: weighted_spmm(pattern, v, t), [values, x])
+        out = weighted_spmm(pattern, values, x)
+        expected = np.zeros((3, 4))
+        for r, c, v in zip(rows, cols, values.data):
+            expected[r] += v * x.data[c]
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_weighted_spmm_rejects_mismatched_shapes(self):
+        pattern = SparseTensor.from_edges(np.array([0, 1]), np.array([1, 2]),
+                                          (2, 3))
+        with pytest.raises(ValueError):
+            weighted_spmm(pattern, _t((2,)), _t((4, 5)))  # 4 rows != 3 cols
+        with pytest.raises(ValueError):
+            weighted_spmm(pattern, _t((5,)), _t((3, 5)))  # 5 values != 2 nnz
+
+    def test_weighted_spmm_multi_head(self):
+        rows = np.array([0, 1, 1, 2])
+        cols = np.array([2, 0, 2, 1])
+        pattern = SparseTensor.from_edges(rows, cols, (3, 3))
+        values = _t((4, 2))
+        x = _t((3, 2, 3))
+        gradcheck(lambda v, t: weighted_spmm(pattern, v, t), [values, x])
+
+    def test_weighted_spmm_equals_scatter_formulation(self):
+        rng = np.random.default_rng(11)
+        num_nodes, num_edges = 8, 30
+        src = rng.integers(0, num_nodes, size=num_edges)
+        dst = rng.integers(0, num_nodes, size=num_edges)
+        order = np.argsort(dst, kind="stable")
+        pattern = SparseTensor.from_edges(dst[order], src[order],
+                                          (num_nodes, num_nodes))
+        values = Tensor(rng.normal(size=num_edges), requires_grad=True)
+        x = Tensor(rng.normal(size=(num_nodes, 5)), requires_grad=True)
+        sparse_out = weighted_spmm(pattern, gather_rows(values, order), x)
+        scatter_out = scatter_add(
+            gather_rows(x, src) * values.reshape(-1, 1), dst, num_nodes)
+        np.testing.assert_allclose(sparse_out.data, scatter_out.data,
+                                   atol=1e-12)
 
 
 class TestAutogradMechanics:

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test benchmarks
+.PHONY: verify test bench benchmarks
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -8,6 +8,9 @@ verify:
 
 test: verify
 
-# Paper tables/figures + the sparse-speedup guard (REPRO_SCALE=tiny|small).
-benchmarks:
+# Paper tables/figures + the sparse-speedup and serving-throughput guards
+# (REPRO_SCALE=tiny|small).
+bench:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q
+
+benchmarks: bench

@@ -1,0 +1,137 @@
+"""Serving engine — micro-batching and cache speedups.
+
+Not a paper table: this benchmark guards the serving subsystem
+(`repro.serving`).  It trains a small bundle, then measures three serving
+regimes on fresh engines:
+
+* **single-query** — every query arrives alone, so every cold query pays
+  one full model forward;
+* **batched** — the same queries arrive together and share one forward
+  per micro-batch (``max_batch_size``);
+* **warm** — repeat queries are answered from the LRU result cache.
+
+Asserted floors: batched throughput ≥ 3× single-query throughput, and a
+warm cache hit ≥ 10× faster than a cold query.  Both margins are huge in
+practice (batching B queries saves B-1 forwards; a warm hit is a
+dictionary lookup), so the floors stay robust on slow CI machines.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.completion import FixedAssignmentFeatures, SearchSpace
+from repro.models import build_model
+from repro.serving import DatasetSpec, EngineConfig, InferenceEngine, build_bundle
+from repro.training import NodeClassificationTrainer, TrainConfig, set_seed
+
+from conftest import SCALE, run_once
+
+NUM_QUERIES = 16
+WARM_REPEATS = 25
+HIDDEN_DIM = 32
+EPOCHS = 3
+
+
+def _export_bundle(tmp_dir: Path, scale: str) -> Path:
+    from repro.datasets import get_dataset
+
+    set_seed(0)
+    dataset = get_dataset("imdb", scale=scale, seed=0)
+    space = SearchSpace()
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, len(space),
+                              size=dataset.missing_global_ids.shape[0])
+    features = FixedAssignmentFeatures(dataset, HIDDEN_DIM, assignment,
+                                       space=space)
+    model = build_model("gcn", dataset, hidden_dim=HIDDEN_DIM,
+                        out_dim=HIDDEN_DIM)
+    NodeClassificationTrainer(model, features, dataset,
+                              TrainConfig(epochs=EPOCHS, patience=10)).train()
+    bundle = build_bundle(dataset, DatasetSpec("imdb", scale, 0), "gcn",
+                          model, features, hidden_dim=HIDDEN_DIM,
+                          out_dim=HIDDEN_DIM)
+    return bundle.save(tmp_dir / "throughput_bundle.npz")
+
+
+def _fresh_engine(path: Path, max_batch_size: int) -> InferenceEngine:
+    return InferenceEngine.from_path(
+        path, EngineConfig(max_batch_size=max_batch_size, cache_size=4096))
+
+
+def drive(scale: str = SCALE) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _export_bundle(Path(tmp), scale)
+
+        engine = _fresh_engine(path, max_batch_size=NUM_QUERIES)
+        ids = np.arange(NUM_QUERIES)
+
+        # single-query regime: each (cold) query pays its own forward
+        single_engine = _fresh_engine(path, max_batch_size=NUM_QUERIES)
+        start = time.perf_counter()
+        for node_id in ids:
+            single_engine.predict([node_id])
+        single_seconds = time.perf_counter() - start
+
+        # batched regime: the same queries share one micro-batch flush
+        start = time.perf_counter()
+        batched_predictions = engine.predict(ids)
+        batched_seconds = time.perf_counter() - start
+
+        single_predictions = np.array(
+            [int(single_engine.predict([node_id])[0]) for node_id in ids])
+        assert np.array_equal(batched_predictions, single_predictions)
+
+        # cold vs warm: median cold query vs best warm repeat, same engine
+        cold_engine = _fresh_engine(path, max_batch_size=1)
+        cold_samples = []
+        for node_id in range(NUM_QUERIES):
+            start = time.perf_counter()
+            cold_engine.predict([node_id])
+            cold_samples.append(time.perf_counter() - start)
+        cold_seconds = float(np.median(cold_samples))
+        warm_seconds = np.inf
+        for _ in range(WARM_REPEATS):
+            start = time.perf_counter()
+            cold_engine.predict([0])
+            warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+        stats = engine.stats()
+        return {
+            "num_queries": NUM_QUERIES,
+            "single_seconds": single_seconds,
+            "batched_seconds": batched_seconds,
+            "batched_speedup": single_seconds / batched_seconds,
+            "single_qps": NUM_QUERIES / single_seconds,
+            "batched_qps": NUM_QUERIES / batched_seconds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / warm_seconds,
+            "batched_forward_passes": stats["forward_passes"],
+        }
+
+
+def test_serving_throughput(benchmark):
+    result = run_once(benchmark, drive)
+    print()
+    print(f"single  {result['single_seconds'] * 1e3:8.2f} ms "
+          f"({result['single_qps']:8.0f} q/s)")
+    print(f"batched {result['batched_seconds'] * 1e3:8.2f} ms "
+          f"({result['batched_qps']:8.0f} q/s)  "
+          f"speedup {result['batched_speedup']:.1f}x")
+    print(f"cold    {result['cold_seconds'] * 1e6:8.1f} us/query")
+    print(f"warm    {result['warm_seconds'] * 1e6:8.1f} us/query  "
+          f"speedup {result['warm_speedup']:.1f}x")
+
+    # one flush answered the whole batch
+    assert result["batched_forward_passes"] == 1
+    assert result["batched_speedup"] >= 3.0, (
+        f"micro-batching only {result['batched_speedup']:.2f}x over "
+        f"single-query serving")
+    assert result["warm_speedup"] >= 10.0, (
+        f"warm cache hit only {result['warm_speedup']:.2f}x over a cold "
+        f"query")

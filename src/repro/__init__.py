@@ -13,6 +13,7 @@ numpy/scipy:
 * :mod:`repro.core`        — the AutoAC bi-level proximal search
 * :mod:`repro.baselines`   — HGNN-AC + metapath2vec, single-op completion
 * :mod:`repro.experiments` — drivers for every paper table and figure
+* :mod:`repro.serving`     — model bundles, batched inference, onboarding
 
 Quickstart::
 
@@ -34,6 +35,7 @@ from . import (  # noqa: F401
     experiments,
     graph,
     models,
+    serving,
     tensor,
     training,
 )
@@ -49,4 +51,5 @@ __all__ = [
     "core",
     "baselines",
     "experiments",
+    "serving",
 ]

@@ -7,6 +7,9 @@ Commands
 ``train``      train a backbone with a fixed completion policy
 ``table``      regenerate one paper table (2-10)
 ``figure``     regenerate one paper figure (3, 4, 5, 67, 8, 9, 1011)
+``export``     search + retrain, then export a servable ModelBundle
+``serve``      serve a ModelBundle over HTTP (predict/onboard/stats)
+``predict``    query a bundle (locally or against a running server)
 """
 
 from __future__ import annotations
@@ -145,6 +148,79 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .core import AutoACConfig, run_autoac
+    from .datasets import get_dataset
+    from .serving import DatasetSpec, bundle_from_result
+    from .training import TrainConfig, set_seed
+
+    dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    set_seed(args.seed)
+    config = AutoACConfig(
+        search_epochs=args.epochs,
+        patience=max(args.epochs // 4, 5),
+        num_clusters=args.clusters,
+        retrain=TrainConfig(epochs=args.epochs, patience=max(args.epochs // 4,
+                                                             5)),
+    )
+    result = run_autoac(dataset, args.model, config, seed=args.seed,
+                        keep_artifacts=True)
+    spec = DatasetSpec(name=args.dataset, scale=args.scale, seed=args.seed)
+    bundle = bundle_from_result(result, dataset, spec, args.model, config)
+    bundle.save(args.out)
+    print(f"macro-F1 {result.final.macro_f1:.4f}  "
+          f"micro-F1 {result.final.micro_f1:.4f}")
+    print(f"bundle written to {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import EngineConfig, InferenceEngine, ServingServer
+
+    engine = InferenceEngine.from_path(
+        args.bundle, EngineConfig(max_batch_size=args.batch_size,
+                                  cache_size=args.cache_size))
+    server = ServingServer(engine, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving {args.bundle} at http://{host}:{port} "
+          f"(/healthz /predict /onboard /stats); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if not args.bundle and not args.url:
+        print("predict needs --bundle (local) or --url (running server)",
+              file=sys.stderr)
+        return 2
+    node_ids = [int(piece) for piece in args.nodes.split(",") if piece]
+    if args.url:
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/predict",
+            data=json.dumps({"node_ids": node_ids}).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request) as response:
+            payload = json.loads(response.read())
+        predictions = payload["predictions"]
+        labels = payload["labels"]
+    else:
+        from .serving import InferenceEngine
+
+        engine = InferenceEngine.from_path(args.bundle)
+        results = engine.predict_batch(node_ids)
+        predictions = [entry["prediction"] for entry in results]
+        labels = [entry["label"] for entry in results]
+    for node_id, prediction, label in zip(node_ids, predictions, labels):
+        print(f"node {node_id:6d}  class {prediction}  ({label})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AutoAC reproduction command line")
@@ -187,6 +263,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.add_argument("number",
                           choices=["3", "4", "5", "67", "8", "9", "1011"])
     p_figure.set_defaults(func=_cmd_figure)
+
+    p_export = sub.add_parser(
+        "export", help="search + retrain, then export a servable bundle")
+    _add_scale(p_export)
+    p_export.add_argument("--dataset", default="imdb")
+    p_export.add_argument("--model", default="simple_hgn")
+    p_export.add_argument("--epochs", type=int, default=60)
+    p_export.add_argument("--clusters", type=int, default=8)
+    p_export.add_argument("--out", required=True,
+                          help="write the ModelBundle to this .npz file")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_serve = sub.add_parser("serve", help="serve a bundle over HTTP")
+    p_serve.add_argument("--bundle", required=True,
+                         help="a ModelBundle .npz written by `repro export`")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument("--batch-size", type=int, default=64,
+                         help="micro-batch flush size")
+    p_serve.add_argument("--cache-size", type=int, default=4096,
+                         help="LRU result-cache capacity")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_predict = sub.add_parser("predict", help="query a bundle")
+    p_predict.add_argument("--bundle", default=None,
+                           help="load this bundle locally")
+    p_predict.add_argument("--url", default=None,
+                           help="query a running `repro serve` instead")
+    p_predict.add_argument("--nodes", required=True,
+                           help="comma-separated target-type node ids")
+    p_predict.set_defaults(func=_cmd_predict)
     return parser
 
 

@@ -10,7 +10,13 @@ from .mixture import (
     WeightedCompletionFeatures,
 )
 from .ops import GCNCompletion, MeanCompletion, OneHotCompletion, PPNPCompletion
-from .space import DEFAULT_SPACE, SearchSpace, available_ops, register_op
+from .space import (
+    DEFAULT_SPACE,
+    SearchSpace,
+    available_ops,
+    build_op,
+    register_op,
+)
 
 __all__ = [
     "CompletionOp",
@@ -21,6 +27,7 @@ __all__ = [
     "SearchSpace",
     "register_op",
     "available_ops",
+    "build_op",
     "DEFAULT_SPACE",
     "AttributeProjector",
     "FeatureBuilder",

@@ -33,6 +33,14 @@ def available_ops() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def build_op(name: str, dataset: HeteroDataset, hidden_dim: int) -> CompletionOp:
+    """Instantiate a single registered op (used by online onboarding)."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown completion op {name!r}; "
+                       f"registered: {available_ops()}")
+    return _REGISTRY[name](dataset, hidden_dim)
+
+
 register_op(MeanCompletion.name, MeanCompletion)
 register_op(GCNCompletion.name, GCNCompletion)
 register_op(PPNPCompletion.name, PPNPCompletion)
@@ -75,4 +83,5 @@ class SearchSpace:
         return f"SearchSpace({self.op_names})"
 
 
-__all__ = ["SearchSpace", "register_op", "available_ops", "DEFAULT_SPACE"]
+__all__ = ["SearchSpace", "register_op", "available_ops", "build_op",
+           "DEFAULT_SPACE"]

@@ -16,9 +16,15 @@ from .pipeline import (
     run_autoac_link_prediction,
 )
 from .proximal import prox_c, prox_c1, prox_c2, proximal_step
-from .retrain import retrain_link_prediction, retrain_node_classification
+from .retrain import (
+    RetrainArtifacts,
+    retrain_link_prediction,
+    retrain_node_classification,
+    retrain_node_classification_artifacts,
+)
 from .search import AutoACSearcher, SearchResult
 from .serialize import (
+    FORMAT_VERSION,
     load_module,
     load_search_result,
     save_module,
@@ -34,7 +40,10 @@ __all__ = [
     "run_autoac",
     "run_autoac_link_prediction",
     "retrain_node_classification",
+    "retrain_node_classification_artifacts",
+    "RetrainArtifacts",
     "retrain_link_prediction",
+    "FORMAT_VERSION",
     "CompletionParameters",
     "MixtureParameters",
     "prox_c",

@@ -17,16 +17,26 @@ from ..datasets import HeteroDataset
 from ..training import LinkPredConfig, LinkPredResult, LinkPredictionTask, TrainResult
 from .adapters import LinkPredictionAdapter, NodeClassificationAdapter
 from .config import AutoACConfig
-from .retrain import retrain_link_prediction, retrain_node_classification
+from .retrain import (
+    RetrainArtifacts,
+    retrain_link_prediction,
+    retrain_node_classification_artifacts,
+)
 from .search import AutoACSearcher, SearchResult
 
 
 @dataclass
 class AutoACResult:
-    """Outcome of a full node-classification run: search + retrain."""
+    """Outcome of a full node-classification run: search + retrain.
+
+    ``artifacts`` carries the trained backbone + feature builder when the
+    run was started with ``keep_artifacts=True`` (the serving layer's
+    bundle-export hook); it is ``None`` otherwise so results stay light.
+    """
 
     search: SearchResult
     final: TrainResult
+    artifacts: Optional[RetrainArtifacts] = None
 
     @property
     def total_seconds(self) -> float:
@@ -50,18 +60,24 @@ class AutoACLinkResult:
 def run_autoac(dataset: HeteroDataset, model_name: str = "simple_hgn",
                config: Optional[AutoACConfig] = None,
                space: Optional[SearchSpace] = None,
-               seed: int = 0) -> AutoACResult:
-    """Full AutoAC pipeline for node classification (search → retrain)."""
+               seed: int = 0, keep_artifacts: bool = False) -> AutoACResult:
+    """Full AutoAC pipeline for node classification (search → retrain).
+
+    With ``keep_artifacts=True`` the trained backbone and feature builder
+    are attached to the result so it can be exported as a servable
+    :class:`~repro.serving.ModelBundle`.
+    """
     config = config or AutoACConfig()
     adapter = NodeClassificationAdapter(dataset)
     searcher = AutoACSearcher(adapter, model_name, config, space=space,
                               seed=seed)
     search = searcher.search()
-    final = retrain_node_classification(
+    artifacts = retrain_node_classification_artifacts(
         dataset, model_name, search,
         hidden_dim=config.hidden_dim, out_dim=config.out_dim,
         config=config.retrain, space=space, **config.model_kwargs)
-    return AutoACResult(search=search, final=final)
+    return AutoACResult(search=search, final=artifacts.result,
+                        artifacts=artifacts if keep_artifacts else None)
 
 
 def run_autoac_link_prediction(task: LinkPredictionTask,

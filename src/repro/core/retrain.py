@@ -27,6 +27,39 @@ from ..training import (
 from .search import SearchResult
 
 
+@dataclass
+class RetrainArtifacts:
+    """A finished retraining run *with* the trained modules attached.
+
+    ``retrain_node_classification`` historically returned only the
+    :class:`TrainResult` metrics; the serving layer additionally needs the
+    trained backbone and feature builder to export a
+    :class:`~repro.serving.ModelBundle`.
+    """
+
+    model: object                      # BaseHGNN (kept loose to avoid cycles)
+    features: FixedAssignmentFeatures
+    result: TrainResult
+
+
+def retrain_node_classification_artifacts(
+    dataset: HeteroDataset, model_name: str, search: SearchResult,
+    hidden_dim: int = 64, out_dim: int = 64,
+    config: Optional[TrainConfig] = None,
+    space: Optional[SearchSpace] = None,
+    **model_kwargs,
+) -> RetrainArtifacts:
+    """Retrain and keep the trained model + feature builder (export hook)."""
+    features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
+                                       space=space)
+    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
+                        out_dim=out_dim, **model_kwargs)
+    trainer = NodeClassificationTrainer(model, features, dataset,
+                                        config or TrainConfig())
+    result = trainer.train()
+    return RetrainArtifacts(model=model, features=features, result=result)
+
+
 def retrain_node_classification(
     dataset: HeteroDataset, model_name: str, search: SearchResult,
     hidden_dim: int = 64, out_dim: int = 64,
@@ -35,13 +68,9 @@ def retrain_node_classification(
     **model_kwargs,
 ) -> TrainResult:
     """Train a fresh model with the searched per-node completion choices."""
-    features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
-                                       space=space)
-    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
-                        out_dim=out_dim, **model_kwargs)
-    trainer = NodeClassificationTrainer(model, features, dataset,
-                                        config or TrainConfig())
-    return trainer.train()
+    return retrain_node_classification_artifacts(
+        dataset, model_name, search, hidden_dim=hidden_dim, out_dim=out_dim,
+        config=config, space=space, **model_kwargs).result
 
 
 def retrain_link_prediction(
@@ -68,4 +97,6 @@ def retrain_link_prediction(
     return trainer.train()
 
 
-__all__ = ["retrain_node_classification", "retrain_link_prediction"]
+__all__ = ["RetrainArtifacts", "retrain_node_classification",
+           "retrain_node_classification_artifacts",
+           "retrain_link_prediction"]

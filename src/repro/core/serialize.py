@@ -4,13 +4,19 @@ A searched completion assignment is the expensive artifact of AutoAC —
 teams want to reuse it across retraining runs and share it between
 machines.  Everything round-trips through a single ``.npz`` file (numpy's
 portable archive), no pickling of code objects involved.
+
+Every archive written here carries a ``format_version`` array so future
+readers can detect (and refuse) layouts they do not understand; archives
+from before versioning are read as version 0.  The serving layer
+(:mod:`repro.serving.artifact`) builds its ``ModelBundle`` format on the
+same helpers.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Sequence, Union
 
 import numpy as np
 
@@ -19,11 +25,65 @@ from .search import SearchResult
 
 PathLike = Union[str, Path]
 
+#: current on-disk layout version of every archive written by this module
+FORMAT_VERSION = 1
+
+#: separator-safe encoding of '.' in state-dict keys ('.' is not
+#: np.savez-safe in all readers)
+_DOT = "__dot__"
+
+
+def pack_json(payload: dict) -> np.ndarray:
+    """Encode a JSON-able dict as a uint8 array (np.savez-safe)."""
+    return np.frombuffer(json.dumps(payload).encode(), dtype=np.uint8)
+
+
+def unpack_json(array: np.ndarray) -> dict:
+    """Decode an array written by :func:`pack_json`."""
+    return json.loads(bytes(array.tobytes()).decode())
+
+
+def archive_version(archive) -> int:
+    """Read an archive's ``format_version`` (0 for pre-versioning files)."""
+    if "format_version" not in archive.files:
+        return 0
+    return int(np.asarray(archive["format_version"]).ravel()[0])
+
+
+def require_arrays(archive, keys: Sequence[str], path: PathLike,
+                   kind: str) -> None:
+    """Raise a clear ``ValueError`` when expected arrays are absent.
+
+    Without this, a truncated or wrong-kind ``.npz`` surfaces as a bare
+    ``KeyError`` deep inside numpy.
+    """
+    missing = [key for key in keys if key not in archive.files]
+    if missing:
+        raise ValueError(
+            f"{path} is not a valid {kind} archive: missing arrays "
+            f"{sorted(missing)} (found {sorted(archive.files)})")
+    version = archive_version(archive)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"{path} uses format_version {version}, newer than the "
+            f"supported version {FORMAT_VERSION}; upgrade this package")
+
+
+def escape_state_key(key: str) -> str:
+    """Make a dotted state-dict key np.savez-safe (deterministically)."""
+    return key.replace(".", _DOT)
+
+
+def unescape_state_key(key: str) -> str:
+    """Invert :func:`escape_state_key`."""
+    return key.replace(_DOT, ".")
+
 
 def save_search_result(result: SearchResult, path: PathLike) -> None:
     """Write a :class:`SearchResult` to ``path`` (``.npz``)."""
     path = Path(path)
     meta = {
+        "format_version": FORMAT_VERSION,
         "op_names": result.op_names,
         "best_val_score": result.best_val_score,
         "epochs_run": result.epochs_run,
@@ -31,10 +91,11 @@ def save_search_result(result: SearchResult, path: PathLike) -> None:
         "history_keys": sorted(result.history),
     }
     arrays = {
+        "format_version": np.array([FORMAT_VERSION], dtype=np.int64),
         "assignment": result.assignment,
         "cluster_labels": result.cluster_labels,
         "alpha": result.alpha,
-        "meta_json": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        "meta_json": pack_json(meta),
     }
     for key, trace in result.history.items():
         arrays[f"history__{key}"] = np.asarray(trace, dtype=np.float64)
@@ -47,7 +108,10 @@ def load_search_result(path: PathLike) -> SearchResult:
     if not path.exists():
         raise FileNotFoundError(path)
     with np.load(path) as archive:
-        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode())
+        require_arrays(archive,
+                       ["assignment", "cluster_labels", "alpha", "meta_json"],
+                       path, kind="search-result")
+        meta = unpack_json(archive["meta_json"])
         history = {
             key: archive[f"history__{key}"].tolist()
             for key in meta["history_keys"]
@@ -68,10 +132,9 @@ def load_search_result(path: PathLike) -> SearchResult:
 def save_module(module: Module, path: PathLike) -> None:
     """Write a module's ``state_dict`` to ``path`` (``.npz``)."""
     state = module.state_dict()
-    # '.' is not np.savez-safe in all readers; escape deterministically
-    np.savez_compressed(Path(path),
-                        **{key.replace(".", "__dot__"): value
-                           for key, value in state.items()})
+    arrays = {escape_state_key(key): value for key, value in state.items()}
+    arrays["format_version"] = np.array([FORMAT_VERSION], dtype=np.int64)
+    np.savez_compressed(Path(path), **arrays)
 
 
 def load_module(module: Module, path: PathLike) -> None:
@@ -80,11 +143,21 @@ def load_module(module: Module, path: PathLike) -> None:
     if not path.exists():
         raise FileNotFoundError(path)
     with np.load(path) as archive:
+        require_arrays(archive, [], path, kind="state-dict")
         state: Dict[str, np.ndarray] = {
-            key.replace("__dot__", "."): archive[key] for key in archive.files
+            unescape_state_key(key): archive[key]
+            for key in archive.files if key != "format_version"
         }
+    expected = [name for name, _ in module.named_parameters()]
+    missing = [name for name in expected if name not in state]
+    if missing:
+        raise ValueError(
+            f"{path} is not a valid state-dict archive for "
+            f"{type(module).__name__}: missing arrays {sorted(missing)}")
     module.load_state_dict(state)
 
 
-__all__ = ["save_search_result", "load_search_result", "save_module",
-           "load_module"]
+__all__ = ["FORMAT_VERSION", "save_search_result", "load_search_result",
+           "save_module", "load_module", "pack_json", "unpack_json",
+           "archive_version", "require_arrays", "escape_state_key",
+           "unescape_state_key"]

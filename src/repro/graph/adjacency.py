@@ -57,6 +57,34 @@ class LRUCache:
             self._store.popitem(last=False)
         return value
 
+    def lookup(self, key: Hashable, default: object = None) -> object:
+        """Return the cached value for ``key`` without building on a miss."""
+        if key in self._store:
+            self._store.move_to_end(key)
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) ``key`` directly, evicting the oldest entry."""
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of entries dropped.  Used for *targeted*
+        invalidation: when a graph mutation only touches some node types,
+        cached operators over unaffected types survive.
+        """
+        stale = [key for key in self._store if predicate(key)]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
     def __len__(self) -> int:
         return len(self._store)
 

@@ -301,6 +301,147 @@ class HeteroGraph:
         return adj.indices[start:stop]
 
     # ------------------------------------------------------------------
+    # Online mutation (node onboarding)
+    # ------------------------------------------------------------------
+    def append_node(self, node_type: str,
+                    edges: Mapping[Relation, np.ndarray],
+                    auto_reverse: bool = True) -> int:
+        """Append one node of ``node_type`` with edges to existing nodes.
+
+        ``edges`` maps existing relations to arrays of *local* neighbor ids
+        on the side of the relation opposite to ``node_type`` (for a
+        same-type relation the new node is the source).  When
+        ``auto_reverse`` is set, every appended edge is mirrored into the
+        matching ``<name>_rev`` relation if one exists (the
+        :meth:`add_reverse_relations` convention), so symmetric message
+        passing sees the new node immediately.
+
+        Returns the new node's local id.  Global ids of nodes in types
+        declared after ``node_type`` shift by one; callers holding global
+        ids must re-derive them.  Caches are invalidated *selectively*:
+        cached per-type blocks that do not involve ``node_type`` survive.
+        """
+        if node_type not in self._info:
+            raise KeyError(f"unknown node type {node_type!r}")
+        new_local = self._info[node_type].count
+
+        # validate everything before mutating any state
+        appends: Dict[Relation, np.ndarray] = {}
+        for relation, neighbors in edges.items():
+            if relation not in self._edges:
+                raise KeyError(f"unknown relation {relation!r}")
+            src_type, _, dst_type = relation
+            if node_type not in (src_type, dst_type):
+                raise ValueError(
+                    f"relation {relation!r} does not involve {node_type!r}")
+            neighbors = np.asarray(neighbors, dtype=np.int64).ravel()
+            if neighbors.size == 0:
+                continue
+            other = dst_type if src_type == node_type else src_type
+            if neighbors.min() < 0 or neighbors.max() >= self._info[other].count:
+                raise ValueError(
+                    f"neighbor ids out of range for {relation!r}")
+            new_col = np.full(neighbors.shape[0], new_local, dtype=np.int64)
+            if src_type == node_type:
+                pairs = np.stack([new_col, neighbors])
+            else:
+                pairs = np.stack([neighbors, new_col])
+            appends[relation] = pairs
+        if auto_reverse:
+            for relation, pairs in list(appends.items()):
+                src_type, name, dst_type = relation
+                reverse = (dst_type, name + "_rev", src_type)
+                if reverse in self._edges and reverse not in appends:
+                    appends[reverse] = np.stack([pairs[1], pairs[0]])
+
+        # grow the type block; offsets of later types shift by one
+        self._info[node_type] = NodeTypeInfo(
+            name=node_type, count=new_local + 1,
+            offset=self._info[node_type].offset)
+        shifting = False
+        for name in self.node_types:
+            if name == node_type:
+                shifting = True
+                continue
+            if shifting:
+                info = self._info[name]
+                self._info[name] = NodeTypeInfo(
+                    name=name, count=info.count, offset=info.offset + 1)
+        self.num_nodes += 1
+
+        for relation, pairs in appends.items():
+            self._edges[relation] = np.concatenate(
+                [self._edges[relation], pairs], axis=1)
+
+        self._invalidate_for_type(node_type)
+        return new_local
+
+    def pop_node(self, node_type: str) -> int:
+        """Remove the *last* node of ``node_type`` and every incident edge.
+
+        The exact inverse of :meth:`append_node` (used to roll back a
+        failed onboarding).  Returns the removed node's local id.
+        """
+        info = self._info[node_type]
+        if info.count <= 1:
+            raise ValueError(f"cannot remove the last node of {node_type!r}")
+        last = info.count - 1
+        for relation in self.relations:
+            src_type, _, dst_type = relation
+            pairs = self._edges[relation]
+            if src_type == node_type and dst_type == node_type:
+                keep = (pairs[0] != last) & (pairs[1] != last)
+            elif src_type == node_type:
+                keep = pairs[0] != last
+            elif dst_type == node_type:
+                keep = pairs[1] != last
+            else:
+                continue
+            if not keep.all():
+                self._edges[relation] = pairs[:, keep]
+        self._info[node_type] = NodeTypeInfo(name=node_type, count=last,
+                                             offset=info.offset)
+        shifting = False
+        for name in self.node_types:
+            if name == node_type:
+                shifting = True
+                continue
+            if shifting:
+                other = self._info[name]
+                self._info[name] = NodeTypeInfo(
+                    name=name, count=other.count, offset=other.offset - 1)
+        self.num_nodes -= 1
+        self._invalidate_for_type(node_type)
+        return last
+
+    def _invalidate_for_type(self, node_type: str) -> None:
+        """Drop caches a ``node_type`` mutation stales, keeping the rest.
+
+        Global structures (id space shifted) always go; per-type blocks
+        and biadjacencies survive unless they involve ``node_type``.
+        """
+        self._cache.clear()
+
+        def stale(key: object) -> bool:
+            if not isinstance(key, tuple) or not key:
+                return True
+            scope = key[0]
+            if scope == "biadjacency":
+                relation = key[1]
+                return node_type in (relation[0], relation[2])
+            if scope == "block":
+                return node_type in (key[1], key[2])
+            return True  # global-scope operators ("adjacency_sparse", ...)
+
+        self._norm_cache.invalidate(stale)
+
+    def copy(self) -> "HeteroGraph":
+        """Deep copy (fresh caches); mutation of one copy leaves the other intact."""
+        counts = {name: self._info[name].count for name in self.node_types}
+        edges = {rel: self._edges[rel].copy() for rel in self.relations}
+        return HeteroGraph(counts, edges)
+
+    # ------------------------------------------------------------------
     def subgraph_without_edges(self, relation: Relation,
                                drop_mask: np.ndarray) -> "HeteroGraph":
         """Copy of the graph with ``drop_mask`` edges of ``relation`` removed.

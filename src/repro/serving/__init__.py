@@ -1,0 +1,37 @@
+"""``repro.serving`` — trained-model artifacts and the online inference layer.
+
+Turns a finished search + retrain run into a servable artifact
+(:class:`ModelBundle`), answers queries through a micro-batching
+:class:`InferenceEngine` with an LRU result cache, onboards brand-new
+nodes online (:mod:`repro.serving.onboarding`), and exposes the whole
+thing over stdlib HTTP (:class:`ServingServer`).  Entry points on the
+CLI: ``repro export`` / ``repro serve`` / ``repro predict``.
+"""
+
+from .artifact import (
+    BUNDLE_FORMAT_VERSION,
+    DatasetSpec,
+    ModelBundle,
+    build_bundle,
+    bundle_from_result,
+    default_label_names,
+)
+from .engine import EngineConfig, InferenceEngine
+from .onboarding import OnboardResult, OnboardingManager, parse_relation
+from .server import ServingServer, make_handler
+
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "DatasetSpec",
+    "ModelBundle",
+    "build_bundle",
+    "bundle_from_result",
+    "default_label_names",
+    "EngineConfig",
+    "InferenceEngine",
+    "OnboardResult",
+    "OnboardingManager",
+    "parse_relation",
+    "ServingServer",
+    "make_handler",
+]

@@ -1,0 +1,303 @@
+"""Batched inference over a loaded :class:`~repro.serving.ModelBundle`.
+
+The engine loads a bundle once, freezes the reconstructed initial
+embedding ``h0`` (one pass through the retrained feature builder, reusing
+``HeteroGraph``'s cached normalized CSR operators), and then serves
+queries without ever touching the training pipeline:
+
+* **micro-batching** — queries are answered one *batch* per model
+  forward: a direct :meth:`InferenceEngine.predict` call is a single
+  batch however many ids it carries, and queued queries
+  (:meth:`enqueue`) accumulate until an explicit :meth:`flush` or the
+  ``max_batch_size`` auto-flush threshold.  A GNN forward is full-graph,
+  so its cost is independent of how many queries share it; batching B
+  cold queries into one flush is a ~B× throughput win.
+* **LRU result cache** — per-node results are memoized (bounded by
+  ``cache_size``; the full logits matrix is deliberately *not* pinned so
+  memory stays flat under large-id-space workloads).  A warm hit skips
+  the forward entirely.
+* **counters** — per-query latency, throughput, cache hit rates and
+  forward-pass counts are exposed via :meth:`InferenceEngine.stats` (the
+  ``/stats`` endpoint of the HTTP server).
+
+Onboarded nodes (see :mod:`repro.serving.onboarding`) are served from an
+overlay: their results are computed once at onboarding time against the
+updated graph, while every pre-existing node keeps being answered from
+the frozen base state — so onboarding can never change an existing
+prediction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets import HeteroDataset
+from ..graph.adjacency import LRUCache
+from ..tensor import Tensor, no_grad
+from .artifact import ModelBundle
+from .onboarding import OnboardingManager, OnboardResult
+
+_MISS = object()
+
+
+@dataclass
+class EngineConfig:
+    """Serving knobs.
+
+    ``max_batch_size`` is the queue's auto-flush threshold: once that
+    many queries are pending, :meth:`InferenceEngine.enqueue` flushes
+    them as one batch (= one model forward).  ``cache_size`` bounds the
+    LRU result cache; ``auto_flush`` disables the threshold when False
+    (callers then flush explicitly).
+    """
+
+    max_batch_size: int = 64
+    cache_size: int = 4096
+    auto_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+
+
+class InferenceEngine:
+    """Answers ``predict`` / ``embed`` queries from a loaded bundle."""
+
+    def __init__(self, bundle: ModelBundle,
+                 config: Optional[EngineConfig] = None,
+                 dataset: Optional[HeteroDataset] = None) -> None:
+        self.bundle = bundle
+        self.config = config or EngineConfig()
+        self.dataset, self.model, self.features = bundle.instantiate(dataset)
+        with no_grad():
+            self._h0 = np.asarray(self.features().data).copy()
+        graph = self.dataset.graph
+        self._num_target = graph.num_nodes_of(bundle.target_type)
+        self._num_nodes = graph.num_nodes
+        self._cache = LRUCache(maxsize=self.config.cache_size)
+        self._pending: List[Tuple[str, int]] = []
+        self._lock = threading.RLock()
+        self._onboarding: Optional[OnboardingManager] = None
+        self._started = time.perf_counter()
+        self._queries = 0
+        self._batches = 0
+        self._forward_passes = 0
+        self._batch_seconds = 0.0
+
+    @classmethod
+    def from_path(cls, path, config: Optional[EngineConfig] = None,
+                  dataset: Optional[HeteroDataset] = None) -> "InferenceEngine":
+        """Load a saved bundle file and build an engine around it."""
+        return cls(ModelBundle.load(path), config=config, dataset=dataset)
+
+    # ------------------------------------------------------------------
+    # Model forwards (one per flushed batch)
+    # ------------------------------------------------------------------
+    def _forward_logits(self) -> np.ndarray:
+        """Full target-type logits from the frozen base state."""
+        self._forward_passes += 1
+        with no_grad():
+            logits = self.model(Tensor(self._h0))
+        return np.asarray(logits.data)
+
+    def _forward_embeddings(self) -> np.ndarray:
+        """Full-graph node embeddings from the frozen base state."""
+        if not getattr(self.model, "full_graph", False):
+            raise ValueError(
+                f"backbone {self.bundle.model_name!r} only embeds the "
+                f"target type; embed() needs a full-graph model")
+        self._forward_passes += 1
+        with no_grad():
+            encoded = self.model.encode(Tensor(self._h0))
+        return np.asarray(encoded.data)
+
+    # ------------------------------------------------------------------
+    # Micro-batched serving
+    # ------------------------------------------------------------------
+    def _validate_ids(self, kind: str, ids: np.ndarray) -> None:
+        if ids.size == 0:
+            return
+        onboarded_targets = len(self._overlay_targets())
+        limit = (self._num_target + onboarded_targets if kind == "predict"
+                 else self._num_nodes)
+        if ids.min() < 0 or ids.max() >= limit:
+            raise ValueError(
+                f"{kind} ids out of range [0, {limit}) "
+                f"(got min={ids.min()}, max={ids.max()})")
+
+    def _overlay_targets(self) -> Dict[int, OnboardResult]:
+        if self._onboarding is None:
+            return {}
+        return self._onboarding.target_overlay()
+
+    def _process(self, requests: Sequence[Tuple[str, int]]) -> Dict[Tuple[str, int], np.ndarray]:
+        """Answer a batch of ``(kind, id)`` requests with ≤1 forward per kind.
+
+        Results enter the LRU cache; onboarded target nodes come from the
+        overlay.  Caller holds the lock.
+        """
+        start = time.perf_counter()
+        results: Dict[Tuple[str, int], np.ndarray] = {}
+        misses: Dict[str, List[int]] = {}
+        overlay = self._overlay_targets()
+        for kind, node_id in requests:
+            key = (kind, node_id)
+            if key in results:
+                continue
+            if kind == "predict" and node_id >= self._num_target:
+                results[key] = overlay[node_id].logits
+                continue
+            cached = self._cache.lookup(key, _MISS)
+            if cached is not _MISS:
+                results[key] = cached
+            else:
+                misses.setdefault(kind, []).append(node_id)
+        for kind, node_ids in misses.items():
+            matrix = (self._forward_logits() if kind == "predict"
+                      else self._forward_embeddings())
+            for node_id in node_ids:
+                row = matrix[node_id].copy()
+                self._cache.put((kind, node_id), row)
+                results[(kind, node_id)] = row
+        self._queries += len(requests)
+        self._batches += 1
+        self._batch_seconds += time.perf_counter() - start
+        return results
+
+    def _run(self, kind: str, node_ids) -> List[np.ndarray]:
+        """Answer one call as ONE batch — a forward already computes the
+        full matrix, so splitting a direct call would only repeat it."""
+        ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        with self._lock:
+            self._validate_ids(kind, ids)
+            results = self._process([(kind, int(node_id)) for node_id in ids])
+            return [results[(kind, int(node_id))] for node_id in ids]
+
+    @staticmethod
+    def _format(kind: str, node_id: int, row: np.ndarray,
+                label_names: List[str]) -> Dict:
+        """The one place a result row becomes a JSON-able dict."""
+        if kind == "predict":
+            index = int(np.argmax(row))
+            return {"node_id": node_id, "prediction": index,
+                    "label": label_names[index]}
+        return {"node_id": node_id, "embedding": row.tolist()}
+
+    def predict(self, node_ids) -> np.ndarray:
+        """Class index per target-type *local* node id (one batch)."""
+        rows = self._run("predict", node_ids)
+        return np.array([int(np.argmax(row)) for row in rows], dtype=np.int64)
+
+    def predict_batch(self, node_ids) -> List[Dict]:
+        """One batch of predictions as JSON-able dicts (the HTTP path)."""
+        rows = self._run("predict", node_ids)
+        ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        return [self._format("predict", int(node_id), row,
+                             self.bundle.label_names)
+                for node_id, row in zip(ids, rows)]
+
+    def predict_logits(self, node_ids) -> np.ndarray:
+        """Raw classifier logits, one row per queried node."""
+        return np.stack(self._run("predict", node_ids))
+
+    def predict_labels(self, node_ids) -> List[str]:
+        """Human-readable label (bundle label map) per queried node."""
+        return [self.bundle.label_names[index]
+                for index in self.predict(node_ids)]
+
+    def embed(self, node_ids) -> np.ndarray:
+        """Node embeddings by *global* id (base id space; full-graph models)."""
+        return np.stack(self._run("embed", node_ids))
+
+    # ------------------------------------------------------------------
+    # Explicit queue API — for callers that trickle queries in and want
+    # them coalesced into one forward (the HTTP server answers each
+    # request synchronously via predict_batch instead)
+    # ------------------------------------------------------------------
+    def enqueue(self, node_id: int, kind: str = "predict") -> int:
+        """Queue one query; returns the pending count.  Auto-flushes a
+        full batch when ``config.auto_flush`` is set."""
+        if kind not in ("predict", "embed"):
+            raise ValueError(f"unknown query kind {kind!r}")
+        with self._lock:
+            self._validate_ids(kind, np.array([node_id], dtype=np.int64))
+            self._pending.append((kind, int(node_id)))
+            if (self.config.auto_flush
+                    and len(self._pending) >= self.config.max_batch_size):
+                self.flush()
+            return len(self._pending)
+
+    def flush(self) -> List[Dict]:
+        """Answer every pending query in one micro-batch; returns results
+        in enqueue order as JSON-able dicts."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if not pending:
+                return []
+            results = self._process(pending)
+            return [self._format(kind, node_id, results[(kind, node_id)],
+                                 self.bundle.label_names)
+                    for kind, node_id in pending]
+
+    # ------------------------------------------------------------------
+    # Online onboarding
+    # ------------------------------------------------------------------
+    def onboard(self, node_type: str, edges,
+                raw_features=None) -> OnboardResult:
+        """Add a new node online and return its (frozen) serving result."""
+        with self._lock:
+            if self._onboarding is None:
+                self._onboarding = OnboardingManager(
+                    self.bundle, self.dataset, self._h0)
+            return self._onboarding.onboard(node_type, edges,
+                                            raw_features=raw_features)
+
+    @property
+    def num_onboarded(self) -> int:
+        return 0 if self._onboarding is None else len(self._onboarding)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """Serving counters (JSON-able)."""
+        with self._lock:
+            queries = self._queries
+            seconds = self._batch_seconds
+            return {
+                "bundle": {
+                    "dataset": self.bundle.dataset.name,
+                    "scale": self.bundle.dataset.scale,
+                    "model": self.bundle.model_name,
+                    "target_type": self.bundle.target_type,
+                    "num_target_nodes": self._num_target,
+                    "num_nodes": self._num_nodes,
+                },
+                "uptime_seconds": time.perf_counter() - self._started,
+                "queries": queries,
+                "batches": self._batches,
+                "forward_passes": self._forward_passes,
+                "pending": len(self._pending),
+                "onboarded": self.num_onboarded,
+                "cache": {
+                    "hits": self._cache.hits,
+                    "misses": self._cache.misses,
+                    "size": len(self._cache),
+                    "capacity": self._cache.maxsize,
+                },
+                "latency": {
+                    "total_batch_seconds": seconds,
+                    "mean_query_ms": (1e3 * seconds / queries
+                                      if queries else 0.0),
+                    "queries_per_second": (queries / seconds
+                                           if seconds > 0 else 0.0),
+                },
+            }
+
+
+__all__ = ["EngineConfig", "InferenceEngine"]

@@ -1,0 +1,151 @@
+"""A stdlib-only JSON HTTP front end for the inference engine.
+
+No web framework — ``http.server.ThreadingHTTPServer`` is enough to make
+the engine drivable as a real service (and testable end to end).  The
+engine serializes access internally, so the threaded server is safe.
+
+Endpoints
+---------
+``GET  /healthz``  liveness + bundle identity
+``GET  /stats``    engine counters (:meth:`InferenceEngine.stats`)
+``POST /predict``  ``{"node_ids": [..]}`` → predictions + label names
+``POST /onboard``  ``{"node_type": .., "edges": {"src:name:dst": [..]},
+                     "features": [..]?}`` → the new node's serving result
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .engine import InferenceEngine
+
+
+def _json_default(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    raise TypeError(f"not serializable: {type(obj)}")
+
+
+def make_handler(engine: InferenceEngine):
+    """Build a request-handler class bound to one engine instance."""
+
+    class ServingHandler(BaseHTTPRequestHandler):
+        server_version = "repro-serving/1"
+
+        # silence per-request stderr logging (tests and benchmarks)
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, default=_json_default).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length", 0))
+            if length == 0:
+                return {}
+            payload = json.loads(self.rfile.read(length).decode())
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+            return payload
+
+        # ------------------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path == "/healthz":
+                self._reply(200, {
+                    "status": "ok",
+                    "dataset": engine.bundle.dataset.name,
+                    "model": engine.bundle.model_name,
+                    "target_type": engine.bundle.target_type,
+                })
+            elif self.path == "/stats":
+                self._reply(200, engine.stats())
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            try:
+                payload = self._read_json()
+                if self.path == "/predict":
+                    node_ids = payload.get("node_ids")
+                    if node_ids is None:
+                        raise ValueError("missing 'node_ids'")
+                    results = engine.predict_batch(node_ids)
+                    self._reply(200, {
+                        "node_ids": [entry["node_id"] for entry in results],
+                        "predictions": [entry["prediction"]
+                                        for entry in results],
+                        "labels": [entry["label"] for entry in results],
+                    })
+                elif self.path == "/onboard":
+                    node_type = payload.get("node_type")
+                    if node_type is None:
+                        raise ValueError("missing 'node_type'")
+                    result = engine.onboard(
+                        node_type, payload.get("edges") or {},
+                        raw_features=payload.get("features"))
+                    self._reply(200, result.to_json())
+                else:
+                    self._reply(404, {"error": f"unknown path {self.path!r}"})
+            except (ValueError, KeyError, json.JSONDecodeError) as error:
+                self._reply(400, {"error": str(error)})
+            except RuntimeError as error:
+                # e.g. a backbone that cannot be rebuilt inductively during
+                # onboarding — the engine's state was rolled back, report it
+                self._reply(500, {"error": str(error)})
+
+    return ServingHandler
+
+
+class ServingServer:
+    """Owns a ``ThreadingHTTPServer`` around one engine.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start_background`
+    runs the accept loop in a daemon thread and returns the bound address.
+    """
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 8080) -> None:
+        self.engine = engine
+        self.httpd = ThreadingHTTPServer((host, port), make_handler(engine))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`shutdown` (or Ctrl-C)."""
+        self.httpd.serve_forever()
+
+    def start_background(self) -> "ServingServer":
+        self._thread = threading.Thread(target=self.httpd.serve_forever,
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+__all__ = ["ServingServer", "make_handler"]

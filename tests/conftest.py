@@ -36,6 +36,46 @@ def lastfm_tiny():
     return get_dataset("lastfm", scale="tiny", seed=0)
 
 
+@pytest.fixture(scope="session")
+def tiny_bundle(imdb_tiny, tmp_path_factory):
+    """A quickly-trained servable bundle + its in-process reference.
+
+    Shared by the serving tests: a GCN on tiny IMDB with a fixed mixed
+    completion assignment, trained for a few epochs, exported to disk.
+    Returns the bundle, its path, and the reference predictions of the
+    in-process trained model (the exact-match oracle).
+    """
+    import numpy as np
+
+    from repro.completion import FixedAssignmentFeatures, SearchSpace
+    from repro.models import build_model
+    from repro.serving import DatasetSpec, build_bundle
+    from repro.tensor import no_grad
+    from repro.training import NodeClassificationTrainer, TrainConfig
+
+    set_seed(7)
+    dataset = imdb_tiny
+    space = SearchSpace()
+    rng = np.random.default_rng(7)
+    assignment = rng.integers(0, len(space),
+                              size=dataset.missing_global_ids.shape[0])
+    features = FixedAssignmentFeatures(dataset, 32, assignment, space=space)
+    model = build_model("gcn", dataset, hidden_dim=32, out_dim=32)
+    result = NodeClassificationTrainer(
+        model, features, dataset, TrainConfig(epochs=4, patience=10)).train()
+    bundle = build_bundle(dataset, DatasetSpec("imdb", "tiny", 0), "gcn",
+                          model, features, hidden_dim=32, out_dim=32,
+                          metrics={"macro_f1": result.macro_f1})
+    path = tmp_path_factory.mktemp("serving") / "bundle.npz"
+    bundle.save(path)
+    model.eval()
+    features.eval()
+    with no_grad():
+        reference = np.argmax(model(features()).data, axis=-1)
+    return {"bundle": bundle, "path": path, "reference": reference,
+            "dataset": dataset}
+
+
 @pytest.fixture()
 def toy_graph() -> HeteroGraph:
     """A hand-built 3-type graph small enough to verify by eye.

@@ -7,6 +7,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.core import (
+    FORMAT_VERSION,
     SearchResult,
     load_module,
     load_search_result,
@@ -14,7 +15,17 @@ from repro.core import (
     save_search_result,
 )
 from repro.datasets import dataset_statistics, get_dataset, render_table1
-from repro.tensor import Linear, Tensor, cos, gradcheck, sin
+from repro.tensor import (
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    cos,
+    gradcheck,
+    sin,
+)
 
 
 class TestTrig:
@@ -75,6 +86,16 @@ class TestSearchResultSerialization:
         assert loaded.op_distribution() == original.op_distribution()
 
 
+class _NestedNet(Module):
+    """A module tree with nesting, shared layer types and odd dtypes."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.trunk = Sequential(Linear(6, 8), Dropout(0.1), Linear(8, 4))
+        self.head = Linear(4, 2, bias=False)
+        self.scale = Parameter(np.float32([1.5, -0.5]), name="scale")
+
+
 class TestModuleSerialization:
     def test_roundtrip(self, tmp_path):
         module = Linear(4, 3)
@@ -88,6 +109,86 @@ class TestModuleSerialization:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_module(Linear(2, 2), tmp_path / "absent.npz")
+
+    def test_nested_roundtrip_preserves_every_parameter(self, tmp_path):
+        """dtype, shape and exact bits survive for the whole module tree."""
+        module = _NestedNet()
+        path = tmp_path / "nested.npz"
+        save_module(module, path)
+        fresh = _NestedNet()
+        # make sure loading actually has to change something
+        for param in fresh.parameters():
+            param.data = param.data + 1.0
+        load_module(fresh, path)
+        saved = module.state_dict()
+        reloaded = fresh.state_dict()
+        assert set(saved) == set(reloaded)
+        assert "trunk.0.weight" in saved and "scale" in saved
+        for name in saved:
+            assert reloaded[name].dtype == saved[name].dtype, name
+            assert reloaded[name].shape == saved[name].shape, name
+            np.testing.assert_array_equal(reloaded[name], saved[name],
+                                          err_msg=name)
+
+    def test_roundtrip_through_state_dict_is_exact(self):
+        module = _NestedNet()
+        clone = _NestedNet()
+        clone.load_state_dict(module.state_dict())
+        for (name, param), (_, fresh) in zip(module.named_parameters(),
+                                             clone.named_parameters()):
+            np.testing.assert_array_equal(param.data, fresh.data,
+                                          err_msg=name)
+
+
+class TestFormatVersioning:
+    def test_search_archive_carries_version(self, tmp_path):
+        path = tmp_path / "search.npz"
+        save_search_result(_dummy_result(), path)
+        with np.load(path) as archive:
+            assert int(archive["format_version"][0]) == FORMAT_VERSION
+
+    def test_module_archive_carries_version(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_module(Linear(2, 2), path)
+        with np.load(path) as archive:
+            assert int(archive["format_version"][0]) == FORMAT_VERSION
+
+    def test_pre_versioning_archive_still_loads(self, tmp_path):
+        """Files written before format_version existed read as version 0."""
+        module = Linear(3, 2)
+        path = tmp_path / "old.npz"
+        np.savez_compressed(path, **{
+            key.replace(".", "__dot__"): value
+            for key, value in module.state_dict().items()})
+        fresh = Linear(3, 2)
+        load_module(fresh, path)
+        np.testing.assert_array_equal(fresh.weight.data, module.weight.data)
+
+    def test_search_result_missing_arrays_is_value_error(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, assignment=np.arange(3))  # everything else absent
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_search_result(path)
+
+    def test_module_missing_arrays_is_value_error(self, tmp_path):
+        module = Linear(4, 3)
+        state = module.state_dict()
+        state.pop("bias")
+        path = tmp_path / "partial.npz"
+        np.savez(path, **{key.replace(".", "__dot__"): value
+                          for key, value in state.items()})
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_module(Linear(4, 3), path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        save_search_result(_dummy_result(), path)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["format_version"] = np.array([FORMAT_VERSION + 99])
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="newer than"):
+            load_search_result(path)
 
 
 class TestDatasetStats:
@@ -134,6 +235,35 @@ class TestCLI:
                      "--completion", "mean"])
         assert code == 0
         assert "macro-F1" in capsys.readouterr().out
+
+    def test_serving_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["export", "--dataset", "imdb",
+                                  "--out", "b.npz"])
+        assert args.command == "export" and args.out == "b.npz"
+        args = parser.parse_args(["serve", "--bundle", "b.npz",
+                                  "--port", "0"])
+        assert args.command == "serve" and args.port == 0
+        args = parser.parse_args(["predict", "--bundle", "b.npz",
+                                  "--nodes", "1,2,3"])
+        assert args.nodes == "1,2,3"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["serve"])  # --bundle is required
+
+    def test_predict_requires_source(self, capsys):
+        assert main(["predict", "--nodes", "1"]) == 2
+
+    def test_export_then_predict_cli(self, tmp_path, capsys):
+        bundle_path = tmp_path / "bundle.npz"
+        code = main(["export", "--dataset", "imdb", "--scale", "tiny",
+                     "--model", "gcn", "--epochs", "4", "--clusters", "3",
+                     "--out", str(bundle_path)])
+        assert code == 0
+        assert bundle_path.exists()
+        assert main(["predict", "--bundle", str(bundle_path),
+                     "--nodes", "0,1"]) == 0
+        out = capsys.readouterr().out
+        assert "bundle written" in out and "class" in out
 
     def test_search_then_train_from_saved(self, tmp_path, capsys):
         out_file = tmp_path / "imdb_search.npz"

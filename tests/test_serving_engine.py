@@ -1,0 +1,230 @@
+"""InferenceEngine: micro-batching, LRU result cache, counters, HTTP API."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    EngineConfig,
+    InferenceEngine,
+    ModelBundle,
+    ServingServer,
+)
+
+
+@pytest.fixture()
+def engine(tiny_bundle):
+    return InferenceEngine(
+        ModelBundle.load(tiny_bundle["path"]),
+        EngineConfig(max_batch_size=16, cache_size=4096),
+        dataset=tiny_bundle["dataset"])
+
+
+class TestPrediction:
+    def test_matches_in_process_model_exactly(self, engine, tiny_bundle):
+        n_target = engine.dataset.graph.num_nodes_of(
+            engine.bundle.target_type)
+        predictions = engine.predict(np.arange(n_target))
+        np.testing.assert_array_equal(predictions, tiny_bundle["reference"])
+
+    def test_scalar_and_list_inputs(self, engine):
+        single = engine.predict(0)
+        assert single.shape == (1,)
+        batch = engine.predict([0, 1, 0])
+        assert batch.shape == (3,)
+        assert batch[0] == batch[2] == single[0]
+
+    def test_labels_and_logits(self, engine):
+        logits = engine.predict_logits([0, 1])
+        assert logits.shape == (2, engine.bundle.num_classes)
+        labels = engine.predict_labels([0, 1])
+        assert labels == [engine.bundle.label_names[int(np.argmax(row))]
+                          for row in logits]
+
+    def test_out_of_range_ids_rejected(self, engine):
+        n_target = engine.dataset.graph.num_nodes_of(
+            engine.bundle.target_type)
+        with pytest.raises(ValueError, match="out of range"):
+            engine.predict([n_target])
+        with pytest.raises(ValueError, match="out of range"):
+            engine.predict([-1])
+
+
+class TestMicroBatching:
+    def test_one_forward_pass_per_batch(self, engine):
+        batch = engine.config.max_batch_size
+        engine.predict(np.arange(batch))
+        assert engine.stats()["forward_passes"] == 1
+
+    def test_large_request_is_one_forward(self, engine):
+        """A forward computes the full matrix, so one direct call is one
+        batch no matter how many ids it carries."""
+        batch = engine.config.max_batch_size
+        engine.predict(np.arange(2 * batch + 1))
+        assert engine.stats()["forward_passes"] == 1
+        assert engine.stats()["batches"] == 1
+
+    def test_predict_batch_matches_predict(self, engine):
+        results = engine.predict_batch([0, 1, 2])
+        predictions = engine.predict([0, 1, 2])
+        assert [entry["prediction"] for entry in results] == predictions.tolist()
+        assert [entry["label"] for entry in results] == \
+            engine.predict_labels([0, 1, 2])
+
+    def test_warm_cache_skips_forwards(self, engine):
+        ids = np.arange(8)
+        engine.predict(ids)
+        passes = engine.stats()["forward_passes"]
+        engine.predict(ids)
+        stats = engine.stats()
+        assert stats["forward_passes"] == passes
+        assert stats["cache"]["hits"] >= len(ids)
+
+    def test_cache_capacity_is_bounded(self, tiny_bundle):
+        small = InferenceEngine(ModelBundle.load(tiny_bundle["path"]),
+                                EngineConfig(max_batch_size=8, cache_size=4),
+                                dataset=tiny_bundle["dataset"])
+        small.predict(np.arange(12))
+        assert small.stats()["cache"]["size"] <= 4
+
+    def test_enqueue_flush_round(self, engine):
+        assert engine.enqueue(0) == 1
+        assert engine.enqueue(1, kind="predict") == 2
+        results = engine.flush()
+        assert [entry["node_id"] for entry in results] == [0, 1]
+        assert all("label" in entry for entry in results)
+        assert engine.flush() == []
+
+    def test_auto_flush_on_full_batch(self, tiny_bundle):
+        engine = InferenceEngine(ModelBundle.load(tiny_bundle["path"]),
+                                 EngineConfig(max_batch_size=4, cache_size=64),
+                                 dataset=tiny_bundle["dataset"])
+        for node_id in range(3):
+            assert engine.enqueue(node_id) == node_id + 1
+        assert engine.enqueue(3) == 0  # queue hit max_batch_size and flushed
+        assert engine.stats()["forward_passes"] == 1
+
+    def test_unknown_kind_rejected(self, engine):
+        with pytest.raises(ValueError, match="kind"):
+            engine.enqueue(0, kind="classify")
+
+
+class TestEmbedding:
+    def test_embed_shape_and_cache(self, engine):
+        rows = engine.embed([0, 5, 10])
+        assert rows.shape == (3, engine.bundle.out_dim)
+        passes = engine.stats()["forward_passes"]
+        engine.embed([0, 5])
+        assert engine.stats()["forward_passes"] == passes
+
+    def test_embed_covers_non_target_nodes(self, engine):
+        graph = engine.dataset.graph
+        actor_gid = int(graph.global_ids("actor")[0])
+        rows = engine.embed([actor_gid])
+        assert rows.shape == (1, engine.bundle.out_dim)
+        assert np.isfinite(rows).all()
+
+
+class TestStats:
+    def test_counters_and_shape(self, engine):
+        engine.predict([0, 1, 2])
+        stats = engine.stats()
+        assert stats["queries"] == 3
+        assert stats["batches"] == 1
+        assert stats["bundle"]["model"] == "gcn"
+        assert stats["cache"]["capacity"] == engine.config.cache_size
+        assert stats["latency"]["queries_per_second"] > 0
+        json.dumps(stats)  # must be JSON-able for the /stats endpoint
+
+
+class TestConfigValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch_size=0)
+        with pytest.raises(ValueError):
+            EngineConfig(cache_size=0)
+
+
+class TestServer:
+    @pytest.fixture()
+    def server(self, engine):
+        server = ServingServer(engine, port=0).start_background()
+        yield server
+        server.shutdown()
+
+    def _get(self, server, path):
+        with urllib.request.urlopen(server.url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+
+    def _post(self, server, path, payload):
+        request = urllib.request.Request(
+            server.url + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def test_healthz(self, server):
+        status, payload = self._get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["model"] == "gcn"
+
+    def test_predict_endpoint(self, server, tiny_bundle):
+        status, payload = self._post(server, "/predict",
+                                     {"node_ids": [0, 1, 2]})
+        assert status == 200
+        np.testing.assert_array_equal(payload["predictions"],
+                                      tiny_bundle["reference"][:3])
+        assert len(payload["labels"]) == 3
+
+    def test_onboard_endpoint(self, server):
+        status, payload = self._post(server, "/onboard", {
+            "node_type": "actor",
+            "edges": {"movie:stars:actor": [0, 1]},
+        })
+        assert status == 200
+        assert payload["node_type"] == "actor"
+        assert payload["op"] in server.engine.bundle.op_names
+        assert payload["embedding"] is not None
+
+    def test_stats_endpoint(self, server):
+        self._post(server, "/predict", {"node_ids": [0]})
+        status, payload = self._get(server, "/stats")
+        assert status == 200
+        assert payload["queries"] >= 1
+
+    def test_onboard_engine_failure_is_500(self, server):
+        removed = server.engine.bundle.model_state.pop("classifier.weight")
+        try:
+            status, payload = self._post(server, "/onboard", {
+                "node_type": "actor",
+                "edges": {"movie:stars:actor": [0]},
+            })
+        finally:
+            server.engine.bundle.model_state["classifier.weight"] = removed
+        assert status == 500
+        assert "inductively" in payload["error"]
+
+    def test_bad_request_is_400(self, server):
+        status, payload = self._post(server, "/predict", {})
+        assert status == 400
+        assert "node_ids" in payload["error"]
+        status, _ = self._post(server, "/onboard", {})
+        assert status == 400
+
+    def test_unknown_path_is_404(self, server):
+        status, _ = self._post(server, "/train", {})
+        assert status == 404
+        try:
+            with urllib.request.urlopen(server.url + "/nope", timeout=10):
+                raise AssertionError("expected 404")
+        except urllib.error.HTTPError as error:
+            assert error.code == 404

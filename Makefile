@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks
+.PHONY: verify test bench benchmarks bench-smoke profile
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -8,9 +8,19 @@ verify:
 
 test: verify
 
-# Paper tables/figures + the sparse-speedup and serving-throughput guards
-# (REPRO_SCALE=tiny|small).
+# Paper tables/figures + the perf guards (sparse propagation, serving
+# throughput, search speedup). REPRO_SCALE=tiny|small. Guard benchmarks
+# append {name, value, unit, commit} rows to BENCH_perf.json.
 bench:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q
 
 benchmarks: bench
+
+# Just the three perf guards (what CI's bench-smoke job runs).
+bench-smoke:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
+		test_sparse_speedup.py test_serving_throughput.py test_search_speedup.py
+
+# Per-op profiler table for a small search run (see docs/PERFORMANCE.md).
+profile:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro profile --scale tiny --runtime fast

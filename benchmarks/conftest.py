@@ -5,15 +5,26 @@ the ``REPRO_SCALE`` environment variable (default ``tiny`` so the full
 suite finishes in minutes on CPU; use ``small`` for a faithful run).
 Rendered tables are printed so the run log doubles as the reproduction
 report (see EXPERIMENTS.md).
+
+Perf trajectory: the ``record_benchmark`` fixture appends machine-readable
+``{name, value, unit, commit}`` rows to ``BENCH_perf.json`` at the repo
+root.  The guard benchmarks (sparse speedup, serving throughput, search
+speedup) record their headline numbers there, so ``make bench`` leaves a
+commit-stamped perf history behind.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+from pathlib import Path
 
 import pytest
 
 SCALE = os.environ.get("REPRO_SCALE", "tiny")
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 
 @pytest.fixture(scope="session")
@@ -25,3 +36,54 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment driver exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def _current_commit() -> str:
+    """Short HEAD hash, with ``-dirty`` appended for uncommitted changes
+    so trajectory rows are never attributed to a commit they weren't
+    measured on."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=BENCH_PATH.parent, capture_output=True, text=True, timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+@pytest.fixture(scope="session")
+def record_benchmark():
+    """Session-scoped recorder appending rows to ``BENCH_perf.json``.
+
+    Usage inside a benchmark test::
+
+        def test_x(benchmark, record_benchmark):
+            ...
+            record_benchmark("sparse_speedup", result["speedup"], "x")
+
+    Rows are buffered and flushed once at session end (merged with any
+    rows already on disk, so repeated ``make bench`` runs accumulate a
+    trajectory).
+    """
+    rows = []
+    commit = _current_commit()
+
+    def record(name: str, value: float, unit: str) -> None:
+        rows.append({"name": str(name), "value": float(value),
+                     "unit": str(unit), "commit": commit})
+
+    yield record
+
+    if not rows:
+        return
+    existing = []
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = []
+    if not isinstance(existing, list):
+        existing = []
+    BENCH_PATH.write_text(json.dumps(existing + rows, indent=2) + "\n")

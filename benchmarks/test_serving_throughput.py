@@ -115,8 +115,11 @@ def drive(scale: str = SCALE) -> dict:
         }
 
 
-def test_serving_throughput(benchmark):
+def test_serving_throughput(benchmark, record_benchmark):
     result = run_once(benchmark, drive)
+    record_benchmark("serving_batched_speedup", result["batched_speedup"], "x")
+    record_benchmark("serving_batched_qps", result["batched_qps"], "q/s")
+    record_benchmark("serving_warm_speedup", result["warm_speedup"], "x")
     print()
     print(f"single  {result['single_seconds'] * 1e3:8.2f} ms "
           f"({result['single_qps']:8.0f} q/s)")

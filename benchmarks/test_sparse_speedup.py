@@ -67,8 +67,10 @@ def drive(num_nodes: int = NUM_NODES, dim: int = FEATURE_DIM) -> dict:
     }
 
 
-def test_sparse_speedup(benchmark):
+def test_sparse_speedup(benchmark, record_benchmark):
     result = run_once(benchmark, drive)
+    record_benchmark("sparse_speedup", result["speedup"], "x")
+    record_benchmark("sparse_spmm_seconds", result["sparse_seconds"], "s")
     print()
     print(f"nodes={result['num_nodes']}  nnz={result['nnz']}  "
           f"density={result['density']:.4%}")

@@ -14,6 +14,8 @@ numpy/scipy:
 * :mod:`repro.baselines`   — HGNN-AC + metapath2vec, single-op completion
 * :mod:`repro.experiments` — drivers for every paper table and figure
 * :mod:`repro.serving`     — model bundles, batched inference, onboarding
+* :mod:`repro.perf`        — runtime profiles (float32 fast mode, fused
+  kernels) and the op-level profiler
 
 Quickstart::
 
@@ -35,6 +37,7 @@ from . import (  # noqa: F401
     experiments,
     graph,
     models,
+    perf,
     serving,
     tensor,
     training,
@@ -52,4 +55,5 @@ __all__ = [
     "baselines",
     "experiments",
     "serving",
+    "perf",
 ]

@@ -10,6 +10,7 @@ Commands
 ``export``     search + retrain, then export a servable ModelBundle
 ``serve``      serve a ModelBundle over HTTP (predict/onboard/stats)
 ``predict``    query a bundle (locally or against a running server)
+``profile``    run a small search under the op-level profiler
 """
 
 from __future__ import annotations
@@ -148,6 +149,33 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core import AutoACConfig, run_autoac
+    from .datasets import get_dataset
+    from .perf import runtime_profile
+    from .training import TrainConfig, set_seed
+
+    with runtime_profile(args.runtime) as active:
+        dataset = get_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        set_seed(args.seed)
+        config = AutoACConfig(
+            search_epochs=args.epochs,
+            patience=max(args.epochs // 4, 5),
+            warmup_epochs=min(2, args.epochs),
+            retrain=TrainConfig(epochs=args.epochs,
+                                patience=max(args.epochs // 4, 5)),
+        )
+        result = run_autoac(dataset, args.model, config, seed=args.seed,
+                            profile=True)
+    print(f"runtime profile: {active.describe()}")
+    print(f"search {result.search.search_seconds:.2f}s  "
+          f"retrain {result.final.train_seconds:.2f}s  "
+          f"macro-F1 {result.final.macro_f1:.4f}")
+    print()
+    print(result.profile.render(limit=args.top))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .core import AutoACConfig, run_autoac
     from .datasets import get_dataset
@@ -274,6 +302,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument("--out", required=True,
                           help="write the ModelBundle to this .npz file")
     p_export.set_defaults(func=_cmd_export)
+
+    p_profile = sub.add_parser(
+        "profile", help="run a small search under the op-level profiler")
+    _add_scale(p_profile)
+    p_profile.add_argument("--dataset", default="imdb")
+    p_profile.add_argument("--model", default="simple_hgn")
+    p_profile.add_argument("--epochs", type=int, default=8)
+    p_profile.add_argument("--runtime", default="reference",
+                           choices=["reference", "fast"],
+                           help="runtime profile to measure under")
+    p_profile.add_argument("--top", type=int, default=30,
+                           help="rows to show in the per-op table")
+    p_profile.set_defaults(func=_cmd_profile)
 
     p_serve = sub.add_parser("serve", help="serve a bundle over HTTP")
     p_serve.add_argument("--bundle", required=True,

@@ -3,13 +3,20 @@
 from .base import CompletionOp
 from .mixture import (
     AttributeProjector,
+    CandidateCache,
     FeatureBuilder,
     FixedAssignmentFeatures,
     HandcraftedFeatures,
     SingleOpFeatures,
     WeightedCompletionFeatures,
 )
-from .ops import GCNCompletion, MeanCompletion, OneHotCompletion, PPNPCompletion
+from .ops import (
+    GCNCompletion,
+    MeanCompletion,
+    OneHotCompletion,
+    PPNPCompletion,
+    PropagatedCompletion,
+)
 from .space import (
     DEFAULT_SPACE,
     SearchSpace,
@@ -30,6 +37,8 @@ __all__ = [
     "build_op",
     "DEFAULT_SPACE",
     "AttributeProjector",
+    "CandidateCache",
+    "PropagatedCompletion",
     "FeatureBuilder",
     "HandcraftedFeatures",
     "SingleOpFeatures",

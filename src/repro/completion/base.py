@@ -43,6 +43,18 @@ class CompletionOp(Module):
         """
         raise NotImplementedError
 
+    def forward_from_cache(self, value: Optional[np.ndarray]) -> Tensor:
+        """Forward pass that may reuse a previously computed output value.
+
+        ``value`` is this op's forward output captured earlier in the
+        same parameter state (the search loop's per-epoch candidate
+        cache).  Implementations must return a tensor with the *live*
+        autograd rigging — reusing ``value`` only skips the forward
+        arithmetic, never changes gradients.  The base implementation
+        ignores the cache and recomputes.
+        """
+        return self.forward()
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(nodes={self.num_missing}, dim={self.hidden_dim})"
 

@@ -16,6 +16,8 @@ completion policy.  Builders provided here:
 
 from __future__ import annotations
 
+import contextlib
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -27,6 +29,9 @@ from ..tensor import (
     ModuleDict,
     ModuleList,
     Tensor,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
     scatter_add,
 )
 from .base import CompletionOp
@@ -45,13 +50,19 @@ class AttributeProjector(Module):
             node_type: Linear(dataset.features[node_type].shape[1], hidden_dim)
             for node_type in dataset.attributed_types
         })
+        # raw attributes cast to the engine dtype once, not per forward
+        self._raw = {
+            node_type: np.asarray(dataset.features[node_type],
+                                  dtype=get_default_dtype())
+            for node_type in dataset.attributed_types
+        }
 
     def forward(self) -> Tensor:
         """Project every attributed type; returns ``(N, hidden)`` with V⁻ rows zero."""
         n = self.dataset.graph.num_nodes
         pieces = []
         for node_type in self.dataset.attributed_types:
-            raw = Tensor(self.dataset.features[node_type])
+            raw = Tensor(self._raw[node_type])
             projected = self.projections[node_type](raw)
             ids = self.dataset.graph.global_ids(node_type)
             pieces.append(scatter_add(projected, ids, n))
@@ -60,6 +71,37 @@ class AttributeProjector(Module):
         out = pieces[0]
         for piece in pieces[1:]:
             out = out + piece
+        return out
+
+    def forward_from_cache(self, value: Optional[np.ndarray]) -> Tensor:
+        """Reuse a captured output value; rig the live backward only.
+
+        Valid as long as no projection weight changed since ``value`` was
+        computed.  The backward issues exactly the gathers/matmuls the
+        live composite would (scatter-add adjoint then the Linear
+        adjoints), so gradients are bit-identical to a recomputation.
+        """
+        if value is None:
+            return self.forward()
+        params = [p for p in self.parameters() if p.requires_grad]
+        out = Tensor(value, requires_grad=is_grad_enabled() and bool(params))
+        if out.requires_grad:
+            def backward(grad: np.ndarray) -> None:
+                for node_type in self.dataset.attributed_types:
+                    linear = self.projections[node_type]
+                    wants_weight = linear.weight.requires_grad
+                    wants_bias = (linear.bias is not None
+                                  and linear.bias.requires_grad)
+                    if not wants_weight and not wants_bias:
+                        continue  # frozen projection: match the live path
+                    ids = self.dataset.graph.global_ids(node_type)
+                    grad_rows = grad[ids]
+                    if wants_weight:
+                        linear.weight.accumulate_grad(
+                            np.matmul(self._raw[node_type].T, grad_rows))
+                    if wants_bias:
+                        linear.bias.accumulate_grad(grad_rows.sum(axis=0))
+            out._rig(tuple(params), backward)
         return out
 
 
@@ -76,8 +118,12 @@ class FeatureBuilder(Module):
         """Completed attributes for V⁻ (``(num_missing, hidden)``) or None."""
         raise NotImplementedError
 
+    def _projected(self) -> Tensor:
+        """The projected-V⁺ block ``h0`` starts from (overridable hook)."""
+        return self.projector()
+
     def forward(self) -> Tensor:
-        h0 = self.projector()
+        h0 = self._projected()
         completed = self.completed()
         if completed is not None and self.dataset.missing_global_ids.size:
             h0 = h0 + scatter_add(completed, self.dataset.missing_global_ids,
@@ -117,6 +163,20 @@ class SingleOpFeatures(FeatureBuilder):
         return self.op()
 
 
+@dataclass
+class CandidateCache:
+    """Per-epoch snapshot of the search's completion candidates.
+
+    ``projector`` is the projected-V⁺ block, ``ops`` the output of every
+    candidate completion op, all captured at one parameter state.  The
+    searcher owns the lifecycle: populate once per epoch, invalidate on
+    every ``w`` update and cluster refresh.
+    """
+
+    projector: np.ndarray
+    ops: List[np.ndarray]
+
+
 class WeightedCompletionFeatures(FeatureBuilder):
     """Mix all candidate ops with per-node weights ``(num_missing, |O|)``.
 
@@ -125,6 +185,21 @@ class WeightedCompletionFeatures(FeatureBuilder):
     (continuous mode) or one-hot rows (discrete mode).  Ops whose total
     weight is exactly zero are skipped — this is the computational saving
     that the paper's discrete constraints buy (Table VIII).
+
+    Candidate cache: within one search epoch the op outputs and the
+    projected V⁺ block are identical across the upper step, the lower
+    step and the validation pass (only the mixing weights differ), so
+    :class:`~repro.core.search.AutoACSearcher` snapshots them via
+    :meth:`refresh_candidates` and replays them in one of two modes set
+    through :meth:`candidate_mode`:
+
+    * ``"detached"`` — candidates enter the graph as constants.  Correct
+      whenever gradients w.r.t. the completion/projection parameters are
+      not consumed (the upper alpha step discards them; validation runs
+      under ``no_grad``).
+    * ``"rigged"`` — forward values are reused but each op/projector
+      rigs its live backward, so the lower ``w`` step gets bit-identical
+      gradients while skipping every candidate forward matmul.
     """
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int,
@@ -133,6 +208,8 @@ class WeightedCompletionFeatures(FeatureBuilder):
         self.space = space or SearchSpace()
         self.ops: ModuleList = self.space.build_ops(dataset, hidden_dim)
         self._weights: Optional[Tensor] = None
+        self._candidates: Optional[CandidateCache] = None
+        self._candidate_mode: Optional[str] = None
 
     def set_weights(self, weights: Tensor) -> None:
         """Set the per-node op weights used by the next forward pass."""
@@ -141,6 +218,55 @@ class WeightedCompletionFeatures(FeatureBuilder):
             raise ValueError(f"weights must have shape {expected}, "
                              f"got {tuple(weights.shape)}")
         self._weights = weights
+
+    # ------------------------------------------------------------------
+    # candidate cache (driven by the searcher)
+    # ------------------------------------------------------------------
+    def has_candidates(self) -> bool:
+        """Whether a candidate snapshot is currently stored."""
+        return self._candidates is not None
+
+    def refresh_candidates(self) -> CandidateCache:
+        """Snapshot projector + per-op outputs at the current parameters."""
+        with no_grad():
+            self._candidates = CandidateCache(
+                projector=self.projector().data,
+                ops=[op().data for op in self.ops])
+        return self._candidates
+
+    def invalidate_candidates(self) -> None:
+        """Drop the snapshot (parameters or clusters changed)."""
+        self._candidates = None
+
+    @contextlib.contextmanager
+    def candidate_mode(self, mode: Optional[str]):
+        """Scoped replay mode: ``None`` (live), ``"detached"`` or ``"rigged"``."""
+        if mode not in (None, "detached", "rigged"):
+            raise ValueError(f"unknown candidate mode {mode!r}")
+        previous = self._candidate_mode
+        self._candidate_mode = mode
+        try:
+            yield
+        finally:
+            self._candidate_mode = previous
+
+    def _op_output(self, op_index: int, op: CompletionOp) -> Tensor:
+        cache = self._candidates
+        mode = self._candidate_mode
+        if cache is None or mode is None:
+            return op()
+        if mode == "detached":
+            return Tensor(cache.ops[op_index])
+        return op.forward_from_cache(cache.ops[op_index])
+
+    def _projected(self) -> Tensor:
+        cache = self._candidates
+        mode = self._candidate_mode
+        if cache is not None and mode == "detached":
+            return Tensor(cache.projector)
+        if cache is not None and mode == "rigged":
+            return self.projector.forward_from_cache(cache.projector)
+        return self.projector()
 
     def completed(self) -> Optional[Tensor]:
         if not self.dataset.missing_global_ids.size:
@@ -152,7 +278,7 @@ class WeightedCompletionFeatures(FeatureBuilder):
             column = self._weights[:, op_index].reshape(-1, 1)
             if not column.requires_grad and not np.any(column.data):
                 continue  # inactive op under discrete constraints — skip
-            term = column * op()
+            term = column * self._op_output(op_index, op)
             total = term if total is None else total + term
         if total is None:  # all weights zero (cannot happen with one-hot rows)
             raise RuntimeError("no completion op active")

@@ -29,7 +29,8 @@ import scipy.sparse as sp
 
 from .. import graph as G
 from ..datasets import HeteroDataset
-from ..tensor import Parameter, SparseTensor, Tensor, init
+from ..tensor import (Parameter, SparseTensor, Tensor, get_default_dtype,
+                      init, is_grad_enabled)
 from .base import CompletionOp
 
 #: process-wide default for the ``use_sparse`` constructor flag; flip to
@@ -61,13 +62,51 @@ def _resolve_sparse_flag(use_sparse: Optional[bool]) -> bool:
 
 def _propagate(operator: SparseTensor, features: np.ndarray,
                use_sparse: bool) -> np.ndarray:
-    """``operator @ features`` on the CSR fast path or the dense fallback."""
+    """``operator @ features`` on the CSR fast path or the dense fallback.
+
+    The result is cast to the engine default dtype once here so op
+    forwards never re-cast it (``Tensor(...)`` would copy otherwise).
+    """
     if use_sparse:
-        return operator.matmul_data(features)
-    return operator.to_dense() @ features
+        out = operator.matmul_data(features)
+    else:
+        out = operator.to_dense() @ features
+    return out.astype(get_default_dtype(), copy=False)
 
 
-class MeanCompletion(CompletionOp):
+class PropagatedCompletion(CompletionOp):
+    """Shared machinery for ops of the form ``Tensor(_base) @ weight``.
+
+    Subclasses precompute the constant propagated block ``self._base``
+    (``(num_missing, raw_dim)``) in their constructor and register
+    ``self.weight``.  Besides the plain forward this provides
+    :meth:`forward_from_cache`, which reuses a captured output value and
+    rigs only the backward (``dL/dW = base.T @ grad`` — the exact same
+    BLAS call the live matmul backward issues), so the search loop can
+    skip the forward matmul when the weights haven't changed.
+    """
+
+    _base: np.ndarray
+    weight: Parameter
+
+    def forward(self) -> Tensor:
+        return Tensor(self._base) @ self.weight
+
+    def forward_from_cache(self, value: Optional[np.ndarray]) -> Tensor:
+        if value is None:
+            return self.forward()
+        weight = self.weight
+        out = Tensor(value,
+                     requires_grad=is_grad_enabled() and weight.requires_grad)
+        if out.requires_grad:
+            base = self._base
+            def backward(grad: np.ndarray) -> None:
+                weight.accumulate_grad(np.matmul(base.T, grad))
+            out._rig((weight,), backward)
+        return out
+
+
+class MeanCompletion(PropagatedCompletion):
     """Mean over attributed 1-hop neighbors, then a learnable transform.
 
     ``P = D⁺^{-1} A⁺`` where ``A⁺`` is the adjacency restricted to
@@ -86,11 +125,8 @@ class MeanCompletion(CompletionOp):
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
 
-    def forward(self) -> Tensor:
-        return Tensor(self._base) @ self.weight
 
-
-class GCNCompletion(CompletionOp):
+class GCNCompletion(PropagatedCompletion):
     """Symmetric-renormalized aggregation of attributed neighbors (Eq. 3).
 
     ``P`` is the full-graph GCN operator ``D^{-1/2} A D^{-1/2}`` with its
@@ -112,11 +148,8 @@ class GCNCompletion(CompletionOp):
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
 
-    def forward(self) -> Tensor:
-        return Tensor(self._base) @ self.weight
 
-
-class PPNPCompletion(CompletionOp):
+class PPNPCompletion(PropagatedCompletion):
     """Personalized-PageRank diffusion of the zero-filled attributes (Eq. 4).
 
     Uses the APPNP power iteration, which converges geometrically to the
@@ -140,12 +173,10 @@ class PPNPCompletion(CompletionOp):
         operator = a_hat if self.use_sparse else a_hat.to_dense()
         diffused = G.appnp_propagate(None, raw, alpha=alpha,
                                      iterations=iterations, a_hat=operator)
-        self._base = diffused[self.missing_ids]
+        self._base = diffused[self.missing_ids].astype(get_default_dtype(),
+                                                       copy=False)
         self.weight = Parameter(init.xavier_uniform((raw.shape[1], hidden_dim)),
                                 name="weight")
-
-    def forward(self) -> Tensor:
-        return Tensor(self._base) @ self.weight
 
 
 class OneHotCompletion(CompletionOp):
@@ -164,6 +195,7 @@ class OneHotCompletion(CompletionOp):
 
 __all__ = [
     "DENSE_FALLBACK",
+    "PropagatedCompletion",
     "MeanCompletion",
     "GCNCompletion",
     "PPNPCompletion",

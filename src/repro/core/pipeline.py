@@ -9,11 +9,13 @@ This is the entry point examples and benchmarks use:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Optional
 
 from ..completion import SearchSpace
 from ..datasets import HeteroDataset
+from ..perf.profiler import ProfileReport, Profiler
 from ..training import LinkPredConfig, LinkPredResult, LinkPredictionTask, TrainResult
 from .adapters import LinkPredictionAdapter, NodeClassificationAdapter
 from .config import AutoACConfig
@@ -32,11 +34,14 @@ class AutoACResult:
     ``artifacts`` carries the trained backbone + feature builder when the
     run was started with ``keep_artifacts=True`` (the serving layer's
     bundle-export hook); it is ``None`` otherwise so results stay light.
+    ``profile`` holds the op-level :class:`~repro.perf.ProfileReport`
+    when the run was started with ``profile=True``.
     """
 
     search: SearchResult
     final: TrainResult
     artifacts: Optional[RetrainArtifacts] = None
+    profile: Optional[ProfileReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -60,24 +65,30 @@ class AutoACLinkResult:
 def run_autoac(dataset: HeteroDataset, model_name: str = "simple_hgn",
                config: Optional[AutoACConfig] = None,
                space: Optional[SearchSpace] = None,
-               seed: int = 0, keep_artifacts: bool = False) -> AutoACResult:
+               seed: int = 0, keep_artifacts: bool = False,
+               profile: bool = False) -> AutoACResult:
     """Full AutoAC pipeline for node classification (search → retrain).
 
     With ``keep_artifacts=True`` the trained backbone and feature builder
     are attached to the result so it can be exported as a servable
-    :class:`~repro.serving.ModelBundle`.
+    :class:`~repro.serving.ModelBundle`.  With ``profile=True`` the whole
+    run executes under the op-level profiler and the per-op report is
+    attached as ``result.profile``.
     """
     config = config or AutoACConfig()
-    adapter = NodeClassificationAdapter(dataset)
-    searcher = AutoACSearcher(adapter, model_name, config, space=space,
-                              seed=seed)
-    search = searcher.search()
-    artifacts = retrain_node_classification_artifacts(
-        dataset, model_name, search,
-        hidden_dim=config.hidden_dim, out_dim=config.out_dim,
-        config=config.retrain, space=space, **config.model_kwargs)
+    profiler = Profiler() if profile else None
+    with profiler if profiler is not None else contextlib.nullcontext():
+        adapter = NodeClassificationAdapter(dataset)
+        searcher = AutoACSearcher(adapter, model_name, config, space=space,
+                                  seed=seed)
+        search = searcher.search()
+        artifacts = retrain_node_classification_artifacts(
+            dataset, model_name, search,
+            hidden_dim=config.hidden_dim, out_dim=config.out_dim,
+            config=config.retrain, space=space, **config.model_kwargs)
     return AutoACResult(search=search, final=artifacts.result,
-                        artifacts=artifacts if keep_artifacts else None)
+                        artifacts=artifacts if keep_artifacts else None,
+                        profile=profiler.report() if profiler else None)
 
 
 def run_autoac_link_prediction(task: LinkPredictionTask,

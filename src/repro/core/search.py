@@ -27,6 +27,7 @@ import numpy as np
 from ..completion import SearchSpace, WeightedCompletionFeatures
 from ..datasets import HeteroDataset
 from ..models import build_model
+from ..perf.profiles import current_profile
 from ..tensor import Adam, Tensor, gather_rows, no_grad
 from .adapters import TaskAdapter
 from .alpha import CompletionParameters, MixtureParameters
@@ -128,6 +129,20 @@ class AutoACSearcher:
         self.w_optimizer = Adam(w_params, lr=cfg.w_lr,
                                 weight_decay=cfg.w_weight_decay)
 
+        # candidate cache --------------------------------------------------
+        # Per-epoch reuse of the completion candidates (projector output +
+        # per-op completions) across the upper step, lower step and
+        # validation pass; see WeightedCompletionFeatures.candidate_mode.
+        # The unrolled mixture ablation differentiates the candidate
+        # forwards w.r.t. w in its upper step, so caching is unsound there.
+        if cfg.candidate_cache is None:
+            use_cache = current_profile().candidate_cache
+        else:
+            use_cache = bool(cfg.candidate_cache)
+        if not cfg.discrete and cfg.unrolled:
+            use_cache = False
+        self.use_candidate_cache = use_cache
+
     # ------------------------------------------------------------------
     # weight plumbing
     # ------------------------------------------------------------------
@@ -143,6 +158,21 @@ class AutoACSearcher:
             requires_grad=requires_grad)
 
     # ------------------------------------------------------------------
+    # candidate-cache plumbing
+    # ------------------------------------------------------------------
+    def _candidate_mode(self, mode: str):
+        """Enter a cached-replay mode, populating the snapshot if needed."""
+        if not self.use_candidate_cache:
+            return self.features.candidate_mode(None)
+        if not self.features.has_candidates():
+            self.features.refresh_candidates()
+        return self.features.candidate_mode(mode)
+
+    def _invalidate_candidates(self) -> None:
+        if self.use_candidate_cache:
+            self.features.invalidate_candidates()
+
+    # ------------------------------------------------------------------
     # upper level
     # ------------------------------------------------------------------
     def _upper_step_discrete(self) -> float:
@@ -151,7 +181,11 @@ class AutoACSearcher:
         # dropout off: the completion choice should not chase dropout noise
         self.model.eval()
         self.features.eval()
-        loss = self.adapter.val_loss(self.model, self.features)
+        # detached candidates: the upper step consumes only d loss/d alpha
+        # (the dirtied w grads are discarded below), so the cached op
+        # outputs enter the graph as constants
+        with self._candidate_mode("detached"):
+            loss = self.adapter.val_loss(self.model, self.features)
         self.model.train()
         self.features.train()
         loss.backward()
@@ -170,7 +204,8 @@ class AutoACSearcher:
             self._set_node_weights(self.mixture.weights())
             self.model.eval()
             self.features.eval()
-            loss = self.adapter.val_loss(self.model, self.features)
+            with self._candidate_mode("detached"):
+                loss = self.adapter.val_loss(self.model, self.features)
             self.model.train()
             self.features.train()
             loss.backward()
@@ -242,10 +277,13 @@ class AutoACSearcher:
         else:
             self._set_node_weights(self.mixture.weights())
         self.w_optimizer.zero_grad()
-        h0 = self.features()
-        # adapter losses re-run the feature builder; install precomputed h0
-        # by monkey-free means: recompute inside the adapter instead.
-        loss = self.adapter.train_loss(self.model, self.features)
+        # rigged candidates: forward values are replayed from the epoch
+        # snapshot while every op/projector rigs its live backward, so the
+        # w update sees bit-identical gradients without recomputing the
+        # candidate matmuls (the adapter loss re-runs the builder too)
+        with self._candidate_mode("rigged"):
+            h0 = self.features()
+            loss = self.adapter.train_loss(self.model, self.features)
         record: Dict[str, float] = {"train_loss": loss.item()}
         if self.cluster_head is not None:
             assignment = self.cluster_head(h0)
@@ -256,6 +294,7 @@ class AutoACSearcher:
             self._last_assignment = assignment.data
         loss.backward()
         self.w_optimizer.step()
+        self._invalidate_candidates()  # w changed: snapshot is stale
         if not cfg.discrete:
             self.mixture.logits.zero_grad()
         self._last_h0 = h0.data
@@ -271,6 +310,7 @@ class AutoACSearcher:
         else:
             missing = self.dataset.missing_global_ids
             self.cluster_labels = self.em_assigner.update(self._last_h0[missing])
+        self._invalidate_candidates()
 
     # ------------------------------------------------------------------
     def search(self) -> SearchResult:
@@ -305,7 +345,10 @@ class AutoACSearcher:
             self._refresh_clusters()
 
             self._set_node_weights(self._current_discrete_rows())
-            score = self.adapter.val_score(self.model, self.features)
+            # the validation pass repopulates the candidate snapshot at the
+            # post-step weights; next epoch's upper step replays it
+            with self._candidate_mode("detached"):
+                score = self.adapter.val_score(self.model, self.features)
             history["val_score"].append(score)
             if score >= best_score:
                 # on exact ties keep the *latest* alpha — it has seen more

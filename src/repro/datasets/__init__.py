@@ -3,7 +3,13 @@
 from .acm import ACM_SPEC
 from .base import HeteroDataset, Split, stratified_split
 from .dblp import DBLP_SPEC
-from .generator import RelationSpec, SchemaSpec, generate, sparse_benchmark_spec
+from .generator import (
+    RelationSpec,
+    SchemaSpec,
+    generate,
+    search_benchmark_spec,
+    sparse_benchmark_spec,
+)
 from .imdb import IMDB_SPEC
 from .lastfm import LASTFM_SPEC
 from .registry import SCALES, SPECS, clear_cache, dataset_names, get_dataset
@@ -17,6 +23,7 @@ __all__ = [
     "SchemaSpec",
     "generate",
     "sparse_benchmark_spec",
+    "search_benchmark_spec",
     "DBLP_SPEC",
     "ACM_SPEC",
     "IMDB_SPEC",

@@ -172,6 +172,35 @@ def sparse_benchmark_spec(num_nodes: int = 10_000,
     )
 
 
+def search_benchmark_spec(num_nodes: int = 3000,
+                          avg_degree: float = 10.0,
+                          num_classes: int = 8,
+                          attribute_dim: int = 256) -> SchemaSpec:
+    """Schema for the end-to-end search-speedup benchmark.
+
+    Same citation-style shape as :func:`sparse_benchmark_spec` (papers
+    attributed, authors missing → a real V⁻ for the completion search)
+    but sized so one ``AutoACSearcher`` epoch is dominated by numeric
+    work (wide raw attributes, a few thousand nodes) rather than Python
+    overhead — the regime where the float32 fused runtime profile shows
+    its full margin.  Used by ``benchmarks/test_search_speedup.py``.
+    """
+    n_paper = int(round(num_nodes * 0.7))
+    n_author = num_nodes - n_paper
+    return SchemaSpec(
+        name=f"search-bench-{num_nodes}",
+        node_counts={"paper": n_paper, "author": n_author},
+        relations=(
+            RelationSpec("paper", "cites", "paper", avg_degree / 2.0),
+            RelationSpec("paper", "written_by", "author", avg_degree / 2.0),
+        ),
+        target_type="paper",
+        attributed_types=("paper",),
+        num_classes=num_classes,
+        attribute_dim=attribute_dim,
+    )
+
+
 def generate(spec: SchemaSpec, seed: int = 0,
              split_fractions: Tuple[float, float, float] = (0.24, 0.06, 0.70)
              ) -> HeteroDataset:
@@ -245,4 +274,5 @@ def generate(spec: SchemaSpec, seed: int = 0,
     )
 
 
-__all__ = ["RelationSpec", "SchemaSpec", "generate", "sparse_benchmark_spec"]
+__all__ = ["RelationSpec", "SchemaSpec", "generate", "sparse_benchmark_spec",
+           "search_benchmark_spec"]

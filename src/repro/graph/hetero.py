@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from ..tensor.dtype import get_default_dtype
 from ..tensor.sparse import SparseTensor
 from .adjacency import LRUCache, normalize_adjacency
 
@@ -198,10 +199,10 @@ class HeteroGraph:
     # ------------------------------------------------------------------
     def adjacency(self, symmetric: bool = True) -> sp.csr_matrix:
         """Unweighted global adjacency (binarized, optionally symmetrized)."""
-        key = f"adjacency:{symmetric}"
+        key = f"adjacency:{symmetric}:{get_default_dtype()}"
         if key not in self._cache:
             src, dst, _ = self.all_edges_global()
-            data = np.ones(src.shape[0], dtype=np.float64)
+            data = np.ones(src.shape[0], dtype=get_default_dtype())
             adj = sp.coo_matrix((data, (src, dst)),
                                 shape=(self.num_nodes, self.num_nodes)).tocsr()
             if symmetric:
@@ -223,20 +224,21 @@ class HeteroGraph:
 
         def build() -> sp.csr_matrix:
             pairs = self._edges[relation]
-            data = np.ones(pairs.shape[1], dtype=np.float64)
+            data = np.ones(pairs.shape[1], dtype=get_default_dtype())
             return sp.coo_matrix(
                 (data, (pairs[0], pairs[1])),
                 shape=(self._info[src_type].count, self._info[dst_type].count),
             ).tocsr()
 
-        return self._norm_cache.get(("biadjacency", relation), build)
+        return self._norm_cache.get(
+            ("biadjacency", relation, get_default_dtype().name), build)
 
     # ------------------------------------------------------------------
     # Cached sparse (CSR) views — the propagation fast path
     # ------------------------------------------------------------------
     def adjacency_sparse(self, symmetric: bool = True) -> SparseTensor:
         """Global adjacency as a :class:`~repro.tensor.SparseTensor`."""
-        key = ("adjacency_sparse", symmetric)
+        key = ("adjacency_sparse", symmetric, get_default_dtype().name)
         return self._norm_cache.get(
             key, lambda: SparseTensor.from_scipy(self.adjacency(symmetric)))
 
@@ -252,7 +254,8 @@ class HeteroGraph:
         graph — never re-normalizes.  The cache is invalidated whenever a
         relation is added.
         """
-        key = ("global", mode, self_loops, symmetric)
+        key = ("global", mode, self_loops, symmetric,
+               get_default_dtype().name)
         return self._norm_cache.get(
             key,
             lambda: normalize_adjacency(self.adjacency_sparse(symmetric),
@@ -275,12 +278,13 @@ class HeteroGraph:
             raise ValueError(
                 f"self loops are only meaningful on same-type blocks, got "
                 f"({src_type!r}, {dst_type!r})")
-        key = ("block", src_type, dst_type, mode, self_loops)
+        key = ("block", src_type, dst_type, mode, self_loops,
+               get_default_dtype().name)
 
         def build() -> SparseTensor:
             n_src = self._info[src_type].count
             n_dst = self._info[dst_type].count
-            block = sp.csr_matrix((n_src, n_dst), dtype=np.float64)
+            block = sp.csr_matrix((n_src, n_dst), dtype=get_default_dtype())
             for relation in self.relations:
                 if relation[0] == src_type and relation[2] == dst_type:
                     block = block + self.biadjacency(relation)

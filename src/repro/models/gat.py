@@ -17,8 +17,11 @@ from ..tensor import (
     ModuleList,
     Parameter,
     Tensor,
+    attention_aggregate,
     elu,
+    fused_kernels_enabled,
     gather_rows,
+    head_dot,
     init,
     leaky_relu,
     scatter_add,
@@ -51,16 +54,22 @@ class GATLayer(Module):
     def forward(self, h: Tensor) -> Tensor:
         n = self.num_nodes
         projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
-        score_src = (projected * self.attn_src).sum(axis=-1)  # (N, H)
-        score_dst = (projected * self.attn_dst).sum(axis=-1)
+        score_src = head_dot(projected, self.attn_src)  # (N, H)
+        score_dst = head_dot(projected, self.attn_dst)
         edge_score = leaky_relu(
             gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst),
             self.negative_slope,
         )
         alpha = segment_softmax(edge_score, self.dst, n)  # (E, H)
         alpha = self.attn_dropout(alpha)
-        messages = gather_rows(projected, self.src) * alpha.reshape(-1, self.num_heads, 1)
-        out = scatter_add(messages, self.dst, n)
+        if fused_kernels_enabled():
+            # one node for gather × alpha × scatter (no (E, H, d) graph
+            # intermediates); values match the composite
+            out = attention_aggregate(alpha, projected, self.src, self.dst, n)
+        else:
+            messages = gather_rows(projected, self.src) * alpha.reshape(
+                -1, self.num_heads, 1)
+            out = scatter_add(messages, self.dst, n)
         return out.reshape(n, self.num_heads * self.head_dim)
 
 

@@ -32,8 +32,11 @@ from ..tensor import (
     Parameter,
     SparseTensor,
     Tensor,
+    attention_aggregate,
     elu,
+    fused_kernels_enabled,
     gather_rows,
+    head_dot,
     init,
     l2_normalize,
     leaky_relu,
@@ -100,11 +103,11 @@ class SimpleHGNLayer(Module):
     def forward(self, h: Tensor, alpha_prev: Optional[Tensor] = None):
         n = self.num_nodes
         projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
-        score_src = (projected * self.attn_src).sum(axis=-1)
-        score_dst = (projected * self.attn_dst).sum(axis=-1)
+        score_src = head_dot(projected, self.attn_src)
+        score_dst = head_dot(projected, self.attn_dst)
         edge_embed = gather_rows(self.edge_table, self.etype).reshape(
             -1, self.num_heads, self.edge_dim)
-        score_edge = (edge_embed * self.attn_edge).sum(axis=-1)  # (E, H)
+        score_edge = head_dot(edge_embed, self.attn_edge)  # (E, H)
         logits = leaky_relu(
             gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst)
             + score_edge,
@@ -118,6 +121,9 @@ class SimpleHGNLayer(Module):
             alpha_sorted = gather_rows(alpha, self._edge_order)  # (E, H)
             out = weighted_spmm(self._pattern, alpha_sorted, projected)
             out = out.reshape(n, self.num_heads * self.head_dim)
+        elif fused_kernels_enabled():
+            out = attention_aggregate(alpha, projected, self.src, self.dst,
+                                      n).reshape(n, self.num_heads * self.head_dim)
         else:
             messages = gather_rows(projected, self.src) * alpha.reshape(
                 -1, self.num_heads, 1)

@@ -1,0 +1,24 @@
+"""Engine-wide feature flags shared across the tensor modules.
+
+Lives in its own leaf module because both :mod:`.tensor` (primitives) and
+:mod:`.functional` (composites) consult the fused-kernels switch, and
+:mod:`.functional` imports :mod:`.tensor`.  State is held in a mutable
+holder so every importer observes updates.
+"""
+
+from __future__ import annotations
+
+_FUSED = [False]
+
+
+def fused_enabled() -> bool:
+    return _FUSED[0]
+
+
+def set_fused(enabled: bool) -> bool:
+    previous = _FUSED[0]
+    _FUSED[0] = bool(enabled)
+    return previous
+
+
+__all__ = ["fused_enabled", "set_fused"]

@@ -1,0 +1,81 @@
+"""Instrumentation choke point for the op-level profiler.
+
+Every public autograd op in :mod:`.tensor`, :mod:`.functional` and
+:mod:`.sparse` is wrapped by :func:`profiled` at definition time.  When no
+hook is installed the wrapper is a single global load plus a ``None``
+check — far below the cost of even the smallest numpy call — so the
+engine pays nothing while profiling is off.
+
+The hook protocol is intentionally tiny (``hook(name, seconds, nbytes)``)
+so this module has zero dependencies; the user-facing profiler lives in
+:mod:`repro.perf.profiler` and installs itself through :func:`set_hook`.
+Backward closures are wrapped lazily on the op's output so the backward
+pass of each op is reported as ``"<name>.backward"``.
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Callable, Optional
+
+ProfileHook = Callable[[str, float, int], None]
+
+_HOOK: Optional[ProfileHook] = None
+
+
+def set_hook(hook: Optional[ProfileHook]) -> Optional[ProfileHook]:
+    """Install (or clear, with ``None``) the active hook; returns the old one."""
+    global _HOOK
+    previous = _HOOK
+    _HOOK = hook
+    return previous
+
+
+def get_hook() -> Optional[ProfileHook]:
+    """The currently installed hook, or ``None``."""
+    return _HOOK
+
+
+def _output_nbytes(out) -> int:
+    nbytes = getattr(out, "nbytes", None)          # ndarray output
+    if isinstance(nbytes, int):
+        return nbytes
+    data = getattr(out, "data", None)              # Tensor output
+    nbytes = getattr(data, "nbytes", None)
+    return nbytes if isinstance(nbytes, int) else 0
+
+
+def profiled(fn: Callable) -> Callable:
+    """Wrap an op so the active hook sees its calls, wall time and bytes."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        hook = _HOOK
+        if hook is None:
+            return fn(*args, **kwargs)
+        start = perf_counter()
+        out = fn(*args, **kwargs)
+        hook(name, perf_counter() - start, _output_nbytes(out))
+        # identity-returning ops (e.g. dropout with p=0) hand back an input
+        # tensor whose backward belongs to an upstream op — leave it alone
+        if any(out is arg for arg in args):
+            return out
+        backward_fn = getattr(out, "_backward_fn", None)
+        if backward_fn is not None:
+            def timed_backward(grad, _inner=backward_fn):
+                inner_hook = _HOOK
+                if inner_hook is None:
+                    return _inner(grad)
+                begin = perf_counter()
+                result = _inner(grad)
+                inner_hook(name + ".backward", perf_counter() - begin, 0)
+                return result
+            out._backward_fn = timed_backward
+        return out
+
+    return wrapper
+
+
+__all__ = ["profiled", "set_hook", "get_hook"]

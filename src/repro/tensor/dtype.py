@@ -1,0 +1,76 @@
+"""Floating-point dtype policy for the tensor engine.
+
+The engine historically hard-coded ``np.float64`` everywhere so the
+finite-difference gradient checks could be tight.  That remains the
+default (the *reference* profile — existing results are bit-for-bit
+unchanged), but every allocation now goes through this module so the
+whole stack can be switched to ``float32`` (the *fast* profile): half the
+memory traffic through BLAS and the CSR kernels, which is where most of
+the search wall-time goes.
+
+``set_default_dtype`` works both as a plain call and as a context
+manager::
+
+    set_default_dtype("float32")            # switch until further notice
+    with set_default_dtype("float32"):      # scoped switch
+        ...                                 # restores the previous dtype
+
+Only ``float32`` and ``float64`` are supported: integer index arrays are
+unaffected by the policy, and half precision is useless without hardware
+support in numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+# single-element list so the context manager can restore by reference
+_DEFAULT = [np.dtype(np.float64)]
+
+
+def resolve_dtype(dtype: DTypeLike) -> np.dtype:
+    """Normalize a dtype-like value to ``np.dtype``; reject non-floats."""
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED:
+        raise ValueError(
+            f"unsupported default dtype {resolved}; expected one of "
+            f"{[str(d) for d in _SUPPORTED]}")
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype every new floating-point tensor/array is created with."""
+    return _DEFAULT[0]
+
+
+class set_default_dtype:
+    """Set the engine-wide default float dtype (callable or ``with`` block).
+
+    The dtype switches immediately on construction; using the instance as
+    a context manager restores the previous dtype on exit.
+    """
+
+    def __init__(self, dtype: DTypeLike) -> None:
+        self.previous = _DEFAULT[0]
+        _DEFAULT[0] = resolve_dtype(dtype)
+
+    def __enter__(self) -> "set_default_dtype":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _DEFAULT[0] = self.previous
+
+
+def is_fast_dtype() -> bool:
+    """True when the current default dtype is single precision."""
+    return _DEFAULT[0] == np.dtype(np.float32)
+
+
+__all__ = ["get_default_dtype", "set_default_dtype", "resolve_dtype",
+           "is_fast_dtype"]

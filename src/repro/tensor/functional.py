@@ -4,20 +4,37 @@ Everything here composes the primitives in :mod:`repro.tensor.tensor` (so
 gradients come for free) or defines a fused primitive with an explicit
 backward where stability or speed demands it (softmax, losses, dropout,
 segment softmax).
+
+Fused kernels
+-------------
+A second, faster implementation exists for the hottest composites:
+``addmm`` (matmul + bias in one node), ``cross_entropy`` (log-softmax +
+NLL in one node), ``segment_softmax`` (one node instead of five) and
+``attention_aggregate`` (gather × weights × scatter in one node).  Each
+avoids materializing intermediate tensors and graph nodes.  They are
+gated behind :func:`set_fused_kernels` — default **off** — because their
+backward passes associate float operations differently from the
+composites: results are equal to numerical precision but not bit-for-bit,
+and the float64 reference profile guarantees bit-identical paper figures.
+The fast runtime profile (:mod:`repro.perf.profiles`) switches them on.
 """
 
 from __future__ import annotations
 
+import contextlib
 from typing import Optional
 
 import numpy as np
 
-from .random import get_rng
+from . import _flags
+from ._profile import profiled
+from .random import get_rng, random_values
 from .tensor import (
     Tensor,
     ensure_tensor,
     gather_rows,
     is_grad_enabled,
+    scatter_accumulate,
     scatter_add,
 )
 
@@ -27,8 +44,32 @@ def _needs_grad(*tensors: Tensor) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Fused-kernel gate (state lives in ._flags, shared with .tensor)
+# ----------------------------------------------------------------------
+def fused_kernels_enabled() -> bool:
+    """Whether the fused fast-path kernels are active."""
+    return _flags.fused_enabled()
+
+
+def set_fused_kernels(enabled: bool) -> bool:
+    """Toggle the fused kernels; returns the previous setting."""
+    return _flags.set_fused(enabled)
+
+
+@contextlib.contextmanager
+def fused_kernels(enabled: bool = True):
+    """Scoped :func:`set_fused_kernels` (restores the previous setting)."""
+    previous = set_fused_kernels(enabled)
+    try:
+        yield
+    finally:
+        set_fused_kernels(previous)
+
+
+# ----------------------------------------------------------------------
 # Softmax family
 # ----------------------------------------------------------------------
+@profiled
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax with a fused backward."""
     x = ensure_tensor(x)
@@ -44,6 +85,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return out
 
 
+@profiled
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable ``log(softmax(x))`` with a fused backward."""
     x = ensure_tensor(x)
@@ -59,11 +101,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return out
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray,
-                  reduction: str = "mean") -> Tensor:
-    """Multi-class cross entropy on integer targets ``(N,)``."""
-    logits = ensure_tensor(logits)
-    targets = np.asarray(targets, dtype=np.int64)
+def _cross_entropy_composite(logits: Tensor, targets: np.ndarray,
+                             reduction: str) -> Tensor:
     n = logits.shape[0]
     log_probs = log_softmax(logits, axis=-1)
     picked = gather_rows(log_probs.reshape(-1),
@@ -76,12 +115,65 @@ def cross_entropy(logits: Tensor, targets: np.ndarray,
     return loss
 
 
+def _cross_entropy_fused(logits: Tensor, targets: np.ndarray,
+                         reduction: str) -> Tensor:
+    """Single-node log-softmax + NLL: no (N, C) log-prob tensor survives.
+
+    Forward reproduces the composite bit-for-bit; the backward is the
+    closed form ``(softmax - onehot) · upstream`` computed in one shot.
+    """
+    x = logits.data
+    n = x.shape[0]
+    rows = np.arange(n)
+    shifted = x - x.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    picked = shifted[rows, targets] - log_norm[:, 0]
+    loss_data = -picked
+    if reduction == "mean":
+        out_data = loss_data.mean()
+    elif reduction == "sum":
+        out_data = loss_data.sum()
+    else:
+        out_data = loss_data
+    out = Tensor(out_data, requires_grad=_needs_grad(logits))
+    if out.requires_grad:
+        soft = np.exp(shifted - log_norm)
+        def backward(grad: np.ndarray) -> None:
+            local = soft.copy()
+            local[rows, targets] -= 1.0
+            if reduction == "mean":
+                logits.accumulate_grad(local * (grad / n))
+            elif reduction == "sum":
+                logits.accumulate_grad(local * grad)
+            else:
+                logits.accumulate_grad(local * grad.reshape(-1, 1))
+        out._rig((logits,), backward)
+    return out
+
+
+@profiled
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Multi-class cross entropy on integer targets ``(N,)``.
+
+    Dispatches to a single fused autograd node when
+    :func:`fused_kernels_enabled` (same values, one node, no ``(N, C)``
+    intermediate); otherwise composes ``log_softmax`` + gather.
+    """
+    logits = ensure_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if _flags.fused_enabled() and logits.ndim == 2:
+        return _cross_entropy_fused(logits, targets, reduction)
+    return _cross_entropy_composite(logits, targets, reduction)
+
+
+@profiled
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
                                      reduction: str = "mean") -> Tensor:
     """Stable BCE: ``max(x,0) - x*z + log1p(exp(-|x|))`` with fused backward."""
     logits = ensure_tensor(logits)
-    z = np.asarray(targets, dtype=np.float64)
     x = logits.data
+    z = np.asarray(targets, dtype=x.dtype)
     loss_data = np.maximum(x, 0.0) - x * z + np.log1p(np.exp(-np.abs(x)))
     if reduction == "mean":
         out_data = loss_data.mean()
@@ -104,6 +196,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
     return out
 
 
+@profiled
 def nll_loss(log_probs: Tensor, targets: np.ndarray,
              reduction: str = "mean") -> Tensor:
     """Negative log likelihood on precomputed log-probabilities."""
@@ -121,8 +214,39 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray,
 
 
 # ----------------------------------------------------------------------
+# Linear algebra fusions
+# ----------------------------------------------------------------------
+@profiled
+def addmm(x: Tensor, weight: Tensor, bias: Tensor) -> Tensor:
+    """Fused affine map ``x @ weight + bias`` as one autograd node.
+
+    The composite builds two nodes and materializes the pre-bias matmul
+    result; the fused path writes the bias into the matmul output in
+    place.  Falls back to the composite when the fused kernels are off or
+    ``x`` is not 2-D (values match either way).
+    """
+    x, weight, bias = ensure_tensor(x), ensure_tensor(weight), ensure_tensor(bias)
+    if not _flags.fused_enabled() or x.ndim != 2:
+        return x @ weight + bias
+    out_data = np.matmul(x.data, weight.data)
+    out_data += bias.data
+    out = Tensor(out_data, requires_grad=_needs_grad(x, weight, bias))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x.accumulate_grad(np.matmul(grad, weight.data.T))
+            if weight.requires_grad:
+                weight.accumulate_grad(np.matmul(x.data.T, grad))
+            if bias.requires_grad:
+                bias.accumulate_grad(grad.sum(axis=0))
+        out._rig((x, weight, bias), backward)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Regularisation
 # ----------------------------------------------------------------------
+@profiled
 def dropout(x: Tensor, p: float, training: bool = True) -> Tensor:
     """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
     if not training or p <= 0.0:
@@ -130,7 +254,8 @@ def dropout(x: Tensor, p: float, training: bool = True) -> Tensor:
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     x = ensure_tensor(x)
-    mask = (get_rng().random(x.shape) >= p) / (1.0 - p)
+    mask = (random_values(x.shape, dtype=x.data.dtype) >= p).astype(
+        x.data.dtype) / (1.0 - p)
     out = Tensor(x.data * mask, requires_grad=_needs_grad(x))
     if out.requires_grad:
         def backward(grad: np.ndarray) -> None:
@@ -168,9 +293,10 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
 
 def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Mean of rows per segment; empty segments yield zeros."""
+    x = ensure_tensor(x)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     totals = scatter_add(x, segment_ids, num_segments)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
     counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (totals.ndim - 1))
     return totals * (1.0 / counts)
 
@@ -183,16 +309,8 @@ def segment_max_data(x: np.ndarray, segment_ids: np.ndarray,
     return out
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray,
-                    num_segments: int) -> Tensor:
-    """Softmax of ``scores`` within segments (e.g. edges grouped by dst node).
-
-    Implemented as a composite of autograd primitives; the per-segment max
-    shift is detached, which leaves gradients unchanged because softmax is
-    shift invariant within each segment.
-    """
-    scores = ensure_tensor(scores)
-    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+def _segment_softmax_composite(scores: Tensor, segment_ids: np.ndarray,
+                               num_segments: int) -> Tensor:
     shift = segment_max_data(scores.data, segment_ids, num_segments)
     shift = np.where(np.isfinite(shift), shift, 0.0)
     from .tensor import exp as t_exp  # local import avoids a cycle at module load
@@ -202,6 +320,115 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray,
     denom = scatter_add(exp_scores, segment_ids, num_segments)
     denom_per_edge = gather_rows(denom, segment_ids)
     return exp_scores / (denom_per_edge + 1e-16)
+
+
+def _segment_softmax_fused(scores: Tensor, segment_ids: np.ndarray,
+                           num_segments: int) -> Tensor:
+    """One autograd node for the whole per-segment softmax.
+
+    The composite records five nodes (sub, exp, scatter, gather, div) and
+    keeps every intermediate alive until backward.  The fused backward is
+    the closed form ``dL/ds_e = α_e (g_e − Σ_{e'∈seg(e)} α_{e'} g_{e'})``,
+    one scatter + one gather.
+    """
+    shift = segment_max_data(scores.data, segment_ids, num_segments)
+    shift = np.where(np.isfinite(shift), shift, 0.0)
+    exp_scores = np.exp(scores.data - shift[segment_ids])
+    denom = np.zeros((num_segments,) + exp_scores.shape[1:],
+                     dtype=exp_scores.dtype)
+    scatter_accumulate(denom, segment_ids, exp_scores)
+    out_data = exp_scores / (denom[segment_ids] + 1e-16)
+    out = Tensor(out_data, requires_grad=_needs_grad(scores))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            weighted = out_data * grad
+            seg_dot = np.zeros((num_segments,) + weighted.shape[1:],
+                               dtype=weighted.dtype)
+            scatter_accumulate(seg_dot, segment_ids, weighted)
+            scores.accumulate_grad(weighted - out_data * seg_dot[segment_ids])
+        out._rig((scores,), backward)
+    return out
+
+
+@profiled
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Softmax of ``scores`` within segments (e.g. edges grouped by dst node).
+
+    The per-segment max shift is detached, which leaves gradients
+    unchanged because softmax is shift invariant within each segment.
+    With the fused kernels enabled this is a single autograd node;
+    otherwise a composite of five primitives (identical values).
+    """
+    scores = ensure_tensor(scores)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if _flags.fused_enabled():
+        return _segment_softmax_fused(scores, segment_ids, num_segments)
+    return _segment_softmax_composite(scores, segment_ids, num_segments)
+
+
+@profiled
+def head_dot(x: Tensor, vec: Tensor) -> Tensor:
+    """Fused per-head dot product ``(x * vec).sum(axis=-1)``.
+
+    ``x`` is ``(N, H, d)``, ``vec`` ``(H, d)`` → ``(N, H)`` — the
+    attention-score pattern of GAT/SimpleHGN.  The composite materializes
+    the ``(N, H, d)`` product twice (forward and the sum's broadcast
+    backward); the fused node contracts directly via einsum and its
+    backward allocates only the two true gradients.  Falls back to the
+    composite when the fused kernels are off (identical values).
+    """
+    x, vec = ensure_tensor(x), ensure_tensor(vec)
+    if not _flags.fused_enabled() or x.ndim != 3 or vec.ndim != 2:
+        return (x * vec).sum(axis=-1)
+    out = Tensor(np.einsum("nhd,hd->nh", x.data, vec.data),
+                 requires_grad=_needs_grad(x, vec))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x.accumulate_grad(grad[:, :, None] * vec.data)
+            if vec.requires_grad:
+                vec.accumulate_grad(np.einsum("nhd,nh->hd", x.data, grad))
+        out._rig((x, vec), backward)
+    return out
+
+
+@profiled
+def attention_aggregate(alpha: Tensor, x: Tensor, src: np.ndarray,
+                        dst: np.ndarray, num_nodes: int) -> Tensor:
+    """Fused attention-weighted aggregation (one node):
+
+    ``out[v, h] = Σ_{e: dst_e = v} alpha[e, h] · x[src_e, h]``
+
+    with ``alpha`` of shape ``(E, H)`` and ``x`` of shape ``(N, H, d)``.
+    Replaces the gather → broadcast-multiply → scatter composite used by
+    GAT-style layers, which materializes an ``(E, H, d)`` message tensor
+    twice (forward and backward).  The ``(E, H, d)`` product is still
+    formed once here, but no graph nodes or duplicate buffers survive it.
+    """
+    alpha, x = ensure_tensor(alpha), ensure_tensor(x)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if alpha.ndim != 2 or x.ndim != 3 or alpha.shape[1] != x.shape[1]:
+        raise ValueError(
+            f"attention_aggregate needs alpha (E, H) and x (N, H, d); got "
+            f"{alpha.shape} and {x.shape}")
+    messages = x.data[src] * alpha.data[:, :, None]
+    out_data = np.zeros((num_nodes,) + x.data.shape[1:], dtype=x.data.dtype)
+    scatter_accumulate(out_data, dst, messages)
+    out = Tensor(out_data, requires_grad=_needs_grad(alpha, x))
+    if out.requires_grad:
+        def backward(grad: np.ndarray) -> None:
+            grad_per_edge = grad[dst]                       # (E, H, d)
+            if alpha.requires_grad:
+                alpha.accumulate_grad(
+                    np.einsum("ehd,ehd->eh", grad_per_edge, x.data[src]))
+            if x.requires_grad:
+                gx = np.zeros_like(x.data)
+                scatter_accumulate(gx, src, grad_per_edge * alpha.data[:, :, None])
+                x.accumulate_grad(gx)
+        out._rig((alpha, x), backward)
+    return out
 
 
 def segment_weighted_mean(values: Tensor, weights: Tensor,
@@ -223,8 +450,10 @@ def embedding(table: Tensor, index: np.ndarray) -> Tensor:
 
 def one_hot(index: np.ndarray, num_classes: int) -> np.ndarray:
     """Dense one-hot encoding as a plain array (constant, no gradient)."""
+    from .dtype import get_default_dtype
+
     index = np.asarray(index, dtype=np.int64)
-    out = np.zeros((index.shape[0], num_classes), dtype=np.float64)
+    out = np.zeros((index.shape[0], num_classes), dtype=get_default_dtype())
     out[np.arange(index.shape[0]), index] = 1.0
     return out
 
@@ -235,6 +464,7 @@ __all__ = [
     "cross_entropy",
     "binary_cross_entropy_with_logits",
     "nll_loss",
+    "addmm",
     "dropout",
     "l2_normalize",
     "layer_norm",
@@ -243,6 +473,11 @@ __all__ = [
     "segment_max_data",
     "segment_softmax",
     "segment_weighted_mean",
+    "attention_aggregate",
+    "head_dot",
     "embedding",
     "one_hot",
+    "fused_kernels",
+    "fused_kernels_enabled",
+    "set_fused_kernels",
 ]

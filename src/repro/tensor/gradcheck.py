@@ -1,23 +1,54 @@
 """Finite-difference gradient checking for the autograd engine.
 
 Used by the property-based test-suite to validate every primitive against
-central differences.  All arithmetic is float64 so tolerances can be tight.
+central differences.  Default tolerances are picked per dtype: float64
+inputs get tight bounds; float32 inputs (the fast runtime profile) get
+the classic relaxed PyTorch-style bounds, since both the analytic and the
+numeric side lose ~half the mantissa.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
 from .tensor import Tensor
 
+#: per-dtype defaults for (eps, atol, rtol)
+_TOLERANCES = {
+    np.dtype(np.float64): (1e-6, 1e-5, 1e-4),
+    np.dtype(np.float32): (1e-3, 1e-2, 1e-2),
+}
+
+
+def _default_tolerances(inputs: Sequence[Tensor]):
+    """Pick (eps, atol, rtol) from the widest-spread input dtype.
+
+    Any float32 input degrades the whole check to float32 tolerances.
+    """
+    dtypes = {tensor.data.dtype for tensor in inputs}
+    if np.dtype(np.float32) in dtypes:
+        return _TOLERANCES[np.dtype(np.float32)]
+    return _TOLERANCES[np.dtype(np.float64)]
+
 
 def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
-                       index: int, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input."""
+                       index: int, eps: Optional[float] = None) -> np.ndarray:
+    """Central-difference gradient of ``fn(*inputs).sum()`` w.r.t. one input.
+
+    ``eps`` defaults per the *perturbed* input's dtype (float64: 1e-6,
+    float32: 1e-3) — a 1e-6 step is below float32 spacing for values
+    ≳ 1, where the perturbation would round away entirely.  Differences
+    are accumulated in float64 regardless of the input dtype so the
+    comparison error is dominated by the forward pass, not by the
+    subtraction.
+    """
     target = inputs[index]
-    grad = np.zeros_like(target.data)
+    if eps is None:
+        eps = _TOLERANCES.get(target.data.dtype,
+                              _TOLERANCES[np.dtype(np.float64)])[0]
+    grad = np.zeros(target.data.shape, dtype=np.float64)
     flat = target.data.reshape(-1)
     grad_flat = grad.reshape(-1)
     for i in range(flat.size):
@@ -32,12 +63,18 @@ def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
 
 
 def gradcheck(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
-              eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+              eps: Optional[float] = None, atol: Optional[float] = None,
+              rtol: Optional[float] = None) -> bool:
     """Compare analytic and numeric gradients for every grad-requiring input.
 
+    ``eps``/``atol``/``rtol`` default per input dtype (see module doc).
     Raises ``AssertionError`` with a diagnostic message on mismatch so
     failures in the test-suite are actionable.
     """
+    default_eps, default_atol, default_rtol = _default_tolerances(inputs)
+    eps = default_eps if eps is None else eps
+    atol = default_atol if atol is None else atol
+    rtol = default_rtol if rtol is None else rtol
     for tensor in inputs:
         tensor.zero_grad()
     output = fn(*inputs)

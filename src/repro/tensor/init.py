@@ -6,6 +6,7 @@ import math
 
 import numpy as np
 
+from .dtype import get_default_dtype
 from .random import get_rng
 
 
@@ -20,43 +21,48 @@ def _fan_in_out(shape) -> tuple[int, int]:
     return fan_in, fan_out
 
 
+def _cast(values: np.ndarray) -> np.ndarray:
+    """Cast RNG draws (always float64) to the engine default dtype."""
+    return values.astype(get_default_dtype(), copy=False)
+
+
 def zeros(shape) -> np.ndarray:
-    """All-zeros array of ``shape`` (float64, like every engine tensor)."""
-    return np.zeros(shape, dtype=np.float64)
+    """All-zeros array of ``shape`` in the engine default dtype."""
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def ones(shape) -> np.ndarray:
     """All-ones array of ``shape``."""
-    return np.ones(shape, dtype=np.float64)
+    return np.ones(shape, dtype=get_default_dtype())
 
 
 def constant(shape, value: float) -> np.ndarray:
     """Array of ``shape`` filled with ``value``."""
-    return np.full(shape, value, dtype=np.float64)
+    return np.full(shape, value, dtype=get_default_dtype())
 
 
 def uniform(shape, low: float = -0.1, high: float = 0.1) -> np.ndarray:
     """Uniform samples in ``[low, high)`` from the engine RNG."""
-    return get_rng().uniform(low, high, size=shape)
+    return _cast(get_rng().uniform(low, high, size=shape))
 
 
 def normal(shape, mean: float = 0.0, std: float = 0.01) -> np.ndarray:
     """Gaussian samples ``N(mean, std²)`` from the engine RNG."""
-    return get_rng().normal(mean, std, size=shape)
+    return _cast(get_rng().normal(mean, std, size=shape))
 
 
 def xavier_uniform(shape, gain: float = 1.0) -> np.ndarray:
     """Glorot uniform: ``U(±gain·sqrt(6/(fan_in+fan_out)))``."""
     fan_in, fan_out = _fan_in_out(shape)
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return get_rng().uniform(-bound, bound, size=shape)
+    return _cast(get_rng().uniform(-bound, bound, size=shape))
 
 
 def xavier_normal(shape, gain: float = 1.0) -> np.ndarray:
     """Glorot normal: ``N(0, gain²·2/(fan_in+fan_out))``."""
     fan_in, fan_out = _fan_in_out(shape)
     std = gain * math.sqrt(2.0 / (fan_in + fan_out))
-    return get_rng().normal(0.0, std, size=shape)
+    return _cast(get_rng().normal(0.0, std, size=shape))
 
 
 def kaiming_uniform(shape, negative_slope: float = 0.0) -> np.ndarray:
@@ -64,7 +70,7 @@ def kaiming_uniform(shape, negative_slope: float = 0.0) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     bound = gain * math.sqrt(3.0 / fan_in)
-    return get_rng().uniform(-bound, bound, size=shape)
+    return _cast(get_rng().uniform(-bound, bound, size=shape))
 
 
 def kaiming_normal(shape, negative_slope: float = 0.0) -> np.ndarray:
@@ -72,7 +78,7 @@ def kaiming_normal(shape, negative_slope: float = 0.0) -> np.ndarray:
     fan_in, _ = _fan_in_out(shape)
     gain = math.sqrt(2.0 / (1.0 + negative_slope ** 2))
     std = gain / math.sqrt(fan_in)
-    return get_rng().normal(0.0, std, size=shape)
+    return _cast(get_rng().normal(0.0, std, size=shape))
 
 
 __all__ = [

@@ -8,6 +8,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import init
+from .functional import addmm as addmm_fn
 from .functional import dropout as dropout_fn
 from .functional import layer_norm as layer_norm_fn
 from .tensor import Tensor
@@ -164,10 +165,11 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
         if self.bias is not None:
-            out = out + self.bias
-        return out
+            # single fused node when the fused kernels are enabled;
+            # addmm falls back to matmul + add otherwise
+            return addmm_fn(x, self.weight, self.bias)
+        return x @ self.weight
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features})"

@@ -73,13 +73,20 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # one persistent scratch per parameter (for the denominator); the
+        # numerator is a single short-lived temporary, so step() trades
+        # the naive formula's ~5 temporaries for 1 without doubling the
+        # optimizer's resident state.  Float-op order matches the naive
+        # formula exactly (bit-for-bit identical updates).
+        self._scratch = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for param, m, v in zip(self.params, self._m, self._v):
+        for param, m, v, sv in zip(self.params, self._m, self._v,
+                                   self._scratch):
             if param.grad is None:
                 continue
             grad = param.grad
@@ -89,9 +96,14 @@ class Adam(Optimizer):
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
             v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # update = lr * (m / bias1) / (sqrt(v / bias2) + eps)
+            np.divide(v, bias2, out=sv)
+            np.sqrt(sv, out=sv)
+            sv += self.eps
+            update = m / bias1
+            update *= self.lr
+            update /= sv
+            param.data -= update
 
 
 class AdamW(Adam):

@@ -33,6 +33,8 @@ from typing import Optional, Tuple, Union
 import numpy as np
 import scipy.sparse as sp
 
+from ._profile import profiled
+from .dtype import get_default_dtype
 from .tensor import Tensor, ensure_tensor, is_grad_enabled
 
 SparseLike = Union["SparseTensor", sp.spmatrix]
@@ -63,7 +65,7 @@ class SparseTensor:
                  values: np.ndarray, shape: Tuple[int, int]) -> None:
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
-        self.values = np.asarray(values, dtype=np.float64)
+        self.values = np.asarray(values, dtype=get_default_dtype())
         self.shape = (int(shape[0]), int(shape[1]))
         if self.indptr.shape[0] != self.shape[0] + 1:
             raise ValueError(
@@ -86,7 +88,7 @@ class SparseTensor:
     @classmethod
     def from_dense(cls, dense: np.ndarray) -> "SparseTensor":
         """Compress a dense matrix, dropping exact zeros."""
-        dense = np.asarray(dense, dtype=np.float64)
+        dense = np.asarray(dense, dtype=get_default_dtype())
         if dense.ndim != 2:
             raise ValueError("from_dense expects a 2-D array")
         return cls.from_scipy(sp.csr_matrix(dense))
@@ -99,13 +101,13 @@ class SparseTensor:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         if values is None:
-            values = np.ones(rows.shape[0], dtype=np.float64)
+            values = np.ones(rows.shape[0], dtype=get_default_dtype())
         order = np.argsort(rows, kind="stable")
         counts = np.bincount(rows, minlength=shape[0])
         indptr = np.zeros(shape[0] + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        return cls(indptr, cols[order], np.asarray(values, dtype=np.float64)[order],
-                   shape)
+        return cls(indptr, cols[order],
+                   np.asarray(values, dtype=get_default_dtype())[order], shape)
 
     @classmethod
     def eye(cls, n: int) -> "SparseTensor":
@@ -180,12 +182,12 @@ class SparseTensor:
 
     def scale_rows(self, factors: np.ndarray) -> "SparseTensor":
         """``diag(factors) @ A`` without forming the diagonal matrix."""
-        factors = np.asarray(factors, dtype=np.float64)
+        factors = np.asarray(factors, dtype=self.values.dtype)
         return self.with_values(self.values * factors[self.row_of_nnz])
 
     def scale_cols(self, factors: np.ndarray) -> "SparseTensor":
         """``A @ diag(factors)`` without forming the diagonal matrix."""
-        factors = np.asarray(factors, dtype=np.float64)
+        factors = np.asarray(factors, dtype=self.values.dtype)
         return self.with_values(self.values * factors[self.indices])
 
     def row_normalize(self) -> "SparseTensor":
@@ -268,6 +270,7 @@ def as_sparse_tensor(matrix: SparseLike) -> SparseTensor:
     return SparseTensor.from_scipy(matrix)
 
 
+@profiled
 def spmm(matrix: SparseLike, x: Union[Tensor, np.ndarray]) -> Tensor:
     """Sparse ``matrix`` (constant) times dense ``x`` (differentiable).
 
@@ -287,6 +290,7 @@ def spmm(matrix: SparseLike, x: Union[Tensor, np.ndarray]) -> Tensor:
     return out
 
 
+@profiled
 def weighted_spmm(pattern: SparseTensor, values: Tensor, x: Tensor) -> Tensor:
     """``A(values) @ x`` with a fixed sparsity pattern and learnable values.
 
@@ -331,7 +335,8 @@ def weighted_spmm(pattern: SparseTensor, values: Tensor, x: Tensor) -> Tensor:
                 f"multi-head weighted_spmm needs values (nnz, H) and "
                 f"x (cols, H, d); got {values.shape} and {x.shape}")
         heads = values.data.shape[1]
-        out_data = np.empty((rows, heads, x.data.shape[2]))
+        out_data = np.empty((rows, heads, x.data.shape[2]),
+                            dtype=np.result_type(values.data, x.data))
         for h in range(heads):
             out_data[:, h, :] = forward_data(values.data[:, h], x.data[:, h, :])
     else:

@@ -9,8 +9,14 @@ accumulates gradients into every tensor that requires them.
 
 The engine supports broadcasting (gradients are reduced back to the original
 shapes), fancy integer indexing (used heavily by the message-passing GNNs),
-and higher-rank ``matmul``.  All arithmetic is float64 so that the
-finite-difference gradient checks in the test suite are tight.
+and higher-rank ``matmul``.  Arithmetic runs in the engine default dtype
+(:mod:`.dtype`): float64 by default so finite-difference gradient checks
+are tight, float32 under the fast runtime profile.
+
+After :meth:`Tensor.backward` the recorded graph is *freed* by default
+(PyTorch semantics): non-leaf nodes drop their gradients, parents and
+backward closures so epoch-sized graphs become collectible immediately.
+Pass ``retain_graph=True`` to keep the graph for a second backward.
 """
 
 from __future__ import annotations
@@ -19,10 +25,19 @@ import contextlib
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
+import scipy.sparse as _sp
+
+from . import _flags
+from ._profile import profiled
+from .dtype import get_default_dtype
 
 Arrayable = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 _GRAD_ENABLED = True
+
+#: sentinel installed in place of a backward closure once a graph has been
+#: freed, so a second backward raises instead of silently dropping grads
+_FREED = object()
 
 
 def is_grad_enabled() -> bool:
@@ -54,12 +69,52 @@ def enable_grad():
         _GRAD_ENABLED = previous
 
 
-def _as_array(data: Arrayable, dtype=np.float64) -> np.ndarray:
+def _as_array(data: Arrayable, dtype=None) -> np.ndarray:
+    if dtype is None:
+        dtype = get_default_dtype()
     if isinstance(data, np.ndarray):
         if data.dtype != dtype:
             return data.astype(dtype)
         return data
     return np.asarray(data, dtype=dtype)
+
+
+def scatter_accumulate(out: np.ndarray, index, grad: np.ndarray) -> None:
+    """``out[index] += grad`` accumulating duplicates, in place.
+
+    The reference implementation is ``np.add.at`` — correct for every
+    index type but unbuffered and therefore slow.  Under the fused
+    kernels (:mod:`._flags`), 1-D non-negative integer-array indices take
+    a 5–6× faster route: per-column ``np.bincount`` for narrow
+    gradients, a CSR-transpose matmul for wide ones.  The fast paths
+    accumulate in a different float order, so they stay gated — the
+    float64 reference profile keeps ``np.add.at`` bit-for-bit.
+    """
+    if (_flags.fused_enabled() and isinstance(index, np.ndarray)
+            and index.ndim == 1 and np.issubdtype(index.dtype, np.integer)
+            and grad.shape == (index.shape[0],) + out.shape[1:]
+            and (index.size == 0 or index.min() >= 0)):
+        n = out.shape[0]
+        if grad.ndim == 1:
+            out += np.bincount(index, weights=grad,
+                               minlength=n).astype(out.dtype, copy=False)
+            return
+        flat = grad.reshape(grad.shape[0], -1)
+        cols = flat.shape[1]
+        if cols <= 8:
+            acc = np.empty((n, cols), dtype=np.float64)
+            for c in range(cols):
+                acc[:, c] = np.bincount(index, weights=flat[:, c],
+                                        minlength=n)
+            out += acc.reshape(out.shape).astype(out.dtype, copy=False)
+        else:
+            pattern = _sp.csr_matrix(
+                (np.ones(index.shape[0], dtype=flat.dtype), index,
+                 np.arange(index.shape[0] + 1)),
+                shape=(index.shape[0], n))
+            out += (pattern.T @ flat).reshape(out.shape)
+        return
+    np.add.at(out, index, grad)
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -84,7 +139,8 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn",
+                 "name", "__weakref__")
 
     def __init__(
         self,
@@ -164,11 +220,16 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+    def backward(self, grad: Optional[np.ndarray] = None,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones (the tensor must be scalar in that case,
-        mirroring PyTorch's behaviour).
+        mirroring PyTorch's behaviour).  Unless ``retain_graph`` is True
+        the recorded graph is freed afterwards: non-leaf nodes release
+        their ``.grad``, parents and backward closures, so intermediates
+        of epoch-sized graphs are garbage-collectible immediately.  A
+        second backward through a freed graph raises ``RuntimeError``.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -177,13 +238,28 @@ class Tensor:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
         else:
-            grad = _as_array(grad)
+            grad = _as_array(grad, dtype=self.data.dtype)
 
         order = self._topological_order()
         self.accumulate_grad(grad)
         for node in reversed(order):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn(node.grad)
+            backward_fn = node._backward_fn
+            if backward_fn is _FREED:
+                raise RuntimeError(
+                    "backward through a graph that was already freed; pass "
+                    "retain_graph=True to the first backward (or recompute "
+                    "the forward) to backpropagate twice")
+            if backward_fn is not None and node.grad is not None:
+                backward_fn(node.grad)
+        # Non-leaf gradients are working buffers of this pass: always
+        # release them (leaves keep theirs), so a second backward with
+        # retain_graph accumulates correctly into the leaves alone.
+        for node in order:
+            if node._backward_fn is not None:
+                node.grad = None
+                if not retain_graph:  # free the graph itself too
+                    node._parents = ()
+                    node._backward_fn = _FREED
 
     def _topological_order(self) -> list:
         order: list = []
@@ -294,6 +370,7 @@ def _needs_grad(*tensors: Tensor) -> bool:
 # ----------------------------------------------------------------------
 # Elementwise binary operations
 # ----------------------------------------------------------------------
+@profiled
 def add(a: Arrayable, b: Arrayable) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
     out = Tensor(a.data + b.data, requires_grad=_needs_grad(a, b))
@@ -307,6 +384,7 @@ def add(a: Arrayable, b: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def sub(a: Arrayable, b: Arrayable) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
     out = Tensor(a.data - b.data, requires_grad=_needs_grad(a, b))
@@ -320,6 +398,7 @@ def sub(a: Arrayable, b: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def mul(a: Arrayable, b: Arrayable) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
     out = Tensor(a.data * b.data, requires_grad=_needs_grad(a, b))
@@ -333,6 +412,7 @@ def mul(a: Arrayable, b: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def div(a: Arrayable, b: Arrayable) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
     out = Tensor(a.data / b.data, requires_grad=_needs_grad(a, b))
@@ -346,6 +426,7 @@ def div(a: Arrayable, b: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def neg(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(-a.data, requires_grad=_needs_grad(a))
@@ -356,6 +437,7 @@ def neg(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def power(a: Arrayable, exponent: float) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(a.data ** exponent, requires_grad=_needs_grad(a))
@@ -366,6 +448,7 @@ def power(a: Arrayable, exponent: float) -> Tensor:
     return out
 
 
+@profiled
 def maximum(a: Arrayable, b: Arrayable) -> Tensor:
     """Elementwise maximum; on ties the gradient flows to the first operand."""
     a, b = ensure_tensor(a), ensure_tensor(b)
@@ -384,6 +467,7 @@ def maximum(a: Arrayable, b: Arrayable) -> Tensor:
 # ----------------------------------------------------------------------
 # Elementwise unary operations
 # ----------------------------------------------------------------------
+@profiled
 def exp(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out_data = np.exp(a.data)
@@ -395,6 +479,7 @@ def exp(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def log(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.log(a.data), requires_grad=_needs_grad(a))
@@ -405,6 +490,7 @@ def log(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def sqrt(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out_data = np.sqrt(a.data)
@@ -416,6 +502,7 @@ def sqrt(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def cos(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.cos(a.data), requires_grad=_needs_grad(a))
@@ -426,6 +513,7 @@ def cos(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def sin(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.sin(a.data), requires_grad=_needs_grad(a))
@@ -436,6 +524,7 @@ def sin(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def tanh(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out_data = np.tanh(a.data)
@@ -447,6 +536,7 @@ def tanh(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def sigmoid(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out_data = 0.5 * (1.0 + np.tanh(0.5 * a.data))  # numerically stable
@@ -458,6 +548,7 @@ def sigmoid(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def relu(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.maximum(a.data, 0.0), requires_grad=_needs_grad(a))
@@ -469,6 +560,7 @@ def relu(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def leaky_relu(a: Arrayable, negative_slope: float = 0.01) -> Tensor:
     a = ensure_tensor(a)
     positive = a.data > 0
@@ -481,6 +573,7 @@ def leaky_relu(a: Arrayable, negative_slope: float = 0.01) -> Tensor:
     return out
 
 
+@profiled
 def elu(a: Arrayable, alpha: float = 1.0) -> Tensor:
     a = ensure_tensor(a)
     positive = a.data > 0
@@ -493,6 +586,7 @@ def elu(a: Arrayable, alpha: float = 1.0) -> Tensor:
     return out
 
 
+@profiled
 def absolute(a: Arrayable) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.abs(a.data), requires_grad=_needs_grad(a))
@@ -504,6 +598,7 @@ def absolute(a: Arrayable) -> Tensor:
     return out
 
 
+@profiled
 def clip(a: Arrayable, low: float, high: float) -> Tensor:
     """Clamp values; gradient is passed through only inside ``[low, high]``."""
     a = ensure_tensor(a)
@@ -519,6 +614,7 @@ def clip(a: Arrayable, low: float, high: float) -> Tensor:
 # ----------------------------------------------------------------------
 # Matrix multiplication
 # ----------------------------------------------------------------------
+@profiled
 def matmul(a: Tensor, b: Tensor) -> Tensor:
     a, b = ensure_tensor(a), ensure_tensor(b)
     out = Tensor(np.matmul(a.data, b.data), requires_grad=_needs_grad(a, b))
@@ -555,6 +651,7 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
 # ----------------------------------------------------------------------
 # Reductions
 # ----------------------------------------------------------------------
+@profiled
 def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(a.data.sum(axis=axis, keepdims=keepdims), requires_grad=_needs_grad(a))
@@ -570,6 +667,7 @@ def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     return out
 
 
+@profiled
 def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(a.data.mean(axis=axis, keepdims=keepdims), requires_grad=_needs_grad(a))
@@ -590,6 +688,7 @@ def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     return out
 
 
+@profiled
 def tensor_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     a = ensure_tensor(a)
     out_data = a.data.max(axis=axis, keepdims=keepdims)
@@ -614,6 +713,7 @@ def tensor_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
 # ----------------------------------------------------------------------
 # Shaping
 # ----------------------------------------------------------------------
+@profiled
 def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(a.data.reshape(shape), requires_grad=_needs_grad(a))
@@ -624,6 +724,7 @@ def reshape(a: Tensor, shape: Tuple[int, ...]) -> Tensor:
     return out
 
 
+@profiled
 def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
     a = ensure_tensor(a)
     out = Tensor(np.transpose(a.data, axes), requires_grad=_needs_grad(a))
@@ -638,6 +739,7 @@ def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
     return out
 
 
+@profiled
 def getitem(a: Tensor, index) -> Tensor:
     """Differentiable indexing supporting slices and integer arrays."""
     a = ensure_tensor(a)
@@ -645,12 +747,13 @@ def getitem(a: Tensor, index) -> Tensor:
     if out.requires_grad:
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(a.data)
-            np.add.at(full, index, grad)
+            scatter_accumulate(full, index, grad)
             a.accumulate_grad(full)
         out._rig((a,), backward)
     return out
 
 
+@profiled
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [ensure_tensor(t) for t in tensors]
     out = Tensor(np.concatenate([t.data for t in tensors], axis=axis),
@@ -668,6 +771,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     tensors = [ensure_tensor(t) for t in tensors]
     out = Tensor(np.stack([t.data for t in tensors], axis=axis),
@@ -682,6 +786,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+@profiled
 def where(condition: np.ndarray, a: Arrayable, b: Arrayable) -> Tensor:
     """``np.where`` with gradients to both branches (condition is data)."""
     a, b = ensure_tensor(a), ensure_tensor(b)
@@ -700,6 +805,7 @@ def where(condition: np.ndarray, a: Arrayable, b: Arrayable) -> Tensor:
 # ----------------------------------------------------------------------
 # Scatter / gather primitives (message passing workhorses)
 # ----------------------------------------------------------------------
+@profiled
 def scatter_add(source: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``source`` into ``num_segments`` bins given by ``index``.
 
@@ -710,7 +816,7 @@ def scatter_add(source: Tensor, index: np.ndarray, num_segments: int) -> Tensor:
     source = ensure_tensor(source)
     index = np.asarray(index, dtype=np.int64)
     out_data = np.zeros((num_segments,) + source.shape[1:], dtype=source.data.dtype)
-    np.add.at(out_data, index, source.data)
+    scatter_accumulate(out_data, index, source.data)
     out = Tensor(out_data, requires_grad=_needs_grad(source))
     if out.requires_grad:
         def backward(grad: np.ndarray) -> None:

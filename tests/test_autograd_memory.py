@@ -1,0 +1,105 @@
+"""Regression tests: backward() frees the autograd graph.
+
+Epoch-sized graphs used to stay fully alive after ``backward()`` —
+every intermediate kept its ``.grad``, ``_parents`` chain and backward
+closure until the loss tensor itself was dropped.  These tests pin the
+fixed behaviour: non-leaf nodes release everything right after the
+backward pass (leaves keep their grads), freed graphs raise on a second
+backward, and a full train step leaves no graph debris behind.
+"""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.tensor import Adam, Linear, Tensor, cross_entropy
+
+
+def _leaf(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape),
+                  requires_grad=True)
+
+
+class TestGraphRelease:
+    def test_non_leaf_grads_released_leaves_kept(self):
+        x = _leaf((4,))
+        y = x * 2.0
+        loss = (y * y).sum()
+        loss.backward()
+        assert x.grad is not None
+        assert y.grad is None and loss.grad is None
+        assert y._parents == () and loss._parents == ()
+
+    def test_intermediates_collectible_while_loss_alive(self):
+        x = _leaf((8, 4))
+        hidden = x * 3.0
+        loss = (hidden * hidden).sum()
+        refs = [weakref.ref(node) for node in loss._topological_order()
+                if node is not loss and node._backward_fn is not None]
+        assert refs, "expected non-leaf intermediates in the graph"
+        loss.backward()
+        del hidden
+        gc.collect()
+        # loss is still alive, but its parents were dropped
+        assert all(ref() is None for ref in refs)
+
+    def test_second_backward_through_freed_graph_raises(self):
+        x = _leaf((3,))
+        loss = (x * 2.0).sum()
+        loss.backward()
+        with pytest.raises(RuntimeError, match="freed"):
+            loss.backward()
+
+    def test_freed_intermediate_reused_in_new_graph_raises(self):
+        x = _leaf((3,))
+        y = x * 2.0
+        y.sum().backward()
+        with pytest.raises(RuntimeError, match="freed"):
+            (y * 3.0).sum().backward()
+
+    def test_retain_graph_allows_second_backward(self):
+        x = _leaf((2,))
+        loss = (x * 2.0).sum()
+        loss.backward(retain_graph=True)
+        loss.backward()
+        np.testing.assert_allclose(x.grad, [4.0, 4.0])
+
+    def test_fresh_graphs_still_accumulate_into_leaves(self):
+        x = _leaf((2,))
+        (x * 1.0).sum().backward()
+        (x * 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+
+class TestTrainStepMemory:
+    @staticmethod
+    def _live_tensor_count() -> int:
+        gc.collect()
+        return sum(1 for obj in gc.get_objects() if isinstance(obj, Tensor))
+
+    def test_graph_node_count_returns_to_baseline_after_train_step(self):
+        rng = np.random.default_rng(0)
+        model = Linear(16, 4)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        inputs = rng.normal(size=(32, 16))
+        targets = rng.integers(0, 4, size=32)
+
+        def step():
+            optimizer.zero_grad()
+            loss = cross_entropy(model(Tensor(inputs)), targets)
+            loss.backward()
+            optimizer.step()
+
+        step()  # warm up lazy allocations (optimizer state etc.)
+        baseline = self._live_tensor_count()
+        for _ in range(5):
+            step()
+        after = self._live_tensor_count()
+        # every step's graph must be fully collectible; allow nothing to
+        # accumulate across five steps
+        assert after <= baseline, (
+            f"train steps leak graph nodes: {baseline} -> {after}")

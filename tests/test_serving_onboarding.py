@@ -105,9 +105,10 @@ class TestAppendNode:
         toy_graph.normalized_adjacency(mode="sym")
         toy_graph.append_node("actor", {("movie", "stars", "actor"): [0]})
         cache = toy_graph._norm_cache
-        assert ("block", "movie", "tag", "none", False) in cache
-        assert ("block", "movie", "actor", "none", False) not in cache
-        assert ("global", "sym", False, True) not in cache
+        assert ("block", "movie", "tag", "none", False, "float64") in cache
+        assert ("block", "movie", "actor", "none", False,
+                "float64") not in cache
+        assert ("global", "sym", False, True, "float64") not in cache
         # the surviving entry is the same object (no rebuild)
         assert toy_graph.block_adjacency("movie", "tag") is kept
         rebuilt = toy_graph.block_adjacency("movie", "actor")

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke profile
+.PHONY: verify test bench benchmarks bench-smoke bench-scale profile
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -20,6 +20,12 @@ benchmarks: bench
 bench-smoke:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
 		test_sparse_speedup.py test_serving_throughput.py test_search_speedup.py
+
+# Mini-batch scale guard: sampled training on the 50k-node scale_spec
+# graph with bounded peak activations (see docs/SCALING.md).
+bench-scale:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
+		test_minibatch_scale.py
 
 # Per-op profiler table for a small search run (see docs/PERFORMANCE.md).
 profile:

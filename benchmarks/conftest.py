@@ -63,9 +63,12 @@ def record_benchmark():
             ...
             record_benchmark("sparse_speedup", result["speedup"], "x")
 
-    Rows are buffered and flushed once at session end (merged with any
-    rows already on disk, so repeated ``make bench`` runs accumulate a
-    trajectory).
+    Rows are buffered and flushed once at session end, merged with the
+    rows already on disk so repeated ``make bench`` runs accumulate a
+    trajectory.  The merge is **idempotent per** ``(name, commit)``: a
+    re-run at the same commit (or the same dirty tree) replaces its
+    earlier measurement instead of duplicating the row — only moving to
+    a new commit grows the trajectory.
     """
     rows = []
     commit = _current_commit()
@@ -86,4 +89,7 @@ def record_benchmark():
             existing = []
     if not isinstance(existing, list):
         existing = []
-    BENCH_PATH.write_text(json.dumps(existing + rows, indent=2) + "\n")
+    fresh = {(row["name"], row["commit"]) for row in rows}
+    kept = [row for row in existing
+            if (row.get("name"), row.get("commit")) not in fresh]
+    BENCH_PATH.write_text(json.dumps(kept + rows, indent=2) + "\n")

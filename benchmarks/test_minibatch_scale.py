@@ -1,0 +1,139 @@
+"""Mini-batch scale guard — sampled training on a ~50k-node graph.
+
+Not a paper table: this benchmark guards the sampled execution path
+introduced for scaling past full-graph training.  It generates the
+``repro.datasets.generator.scale_spec`` synthetic graph (50k nodes by
+default — an order of magnitude past the HGB-style specs), trains a
+``supports_sampling`` backbone through
+:class:`~repro.training.MiniBatchTrainer` for a few capped epochs, and
+asserts the bounded-memory contract:
+
+* **no ``(N, hidden)`` activation** — every tensor the sampled path
+  creates is instrumented (``Tensor.__init__`` watermark) and its row
+  count must stay a small fraction of ``N``;
+* **fan-out bound** — the peak rows are also checked against the
+  sampler's analytic worst case ``B · (1 + Σ_l (R · fanout)^l)``;
+* the sampled loop actually trains (loss decreases from the first to the
+  best epoch average).
+
+Quality parity with the full-graph path is asserted in the tier-1 suite
+(``tests/test_minibatch.py``) on a small graph, where a generous fanout
+makes sampling exact.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+import repro.tensor.tensor as tensor_module
+from repro.completion import FixedAssignmentFeatures
+from repro.datasets import generate, scale_spec
+from repro.models import build_model
+from repro.training import MiniBatchConfig, MiniBatchTrainer, set_seed
+
+from conftest import run_once
+
+NUM_NODES = 50_000
+HIDDEN_DIM = 32
+BATCH_SIZE = 64
+FANOUT = 3
+EPOCHS = 2
+BATCHES_PER_EPOCH = 4
+
+
+@contextlib.contextmanager
+def activation_watermark():
+    """Track the largest leading dimension of every Tensor created.
+
+    Wraps ``Tensor.__init__`` for the duration of the block; the returned
+    dict's ``"rows"`` entry is the high-water mark.  This is the teeth of
+    the "never materialize an (N, hidden) activation" guarantee — any
+    full-graph tensor sneaking into the sampled path trips it.
+    """
+    mark = {"rows": 0}
+    original = tensor_module.Tensor.__init__
+
+    def patched(self, data, *args, **kwargs):
+        original(self, data, *args, **kwargs)
+        shape = getattr(self.data, "shape", ())
+        if len(shape) >= 1 and len(shape) <= 3:
+            mark["rows"] = max(mark["rows"], int(shape[0]))
+
+    tensor_module.Tensor.__init__ = patched
+    try:
+        yield mark
+    finally:
+        tensor_module.Tensor.__init__ = original
+
+
+def drive(num_nodes: int = NUM_NODES) -> dict:
+    set_seed(0)
+    dataset = generate(scale_spec(num_nodes=num_nodes), seed=0)
+    graph = dataset.graph
+    model = build_model("gcn", dataset, hidden_dim=HIDDEN_DIM,
+                        out_dim=HIDDEN_DIM)
+    features = FixedAssignmentFeatures.random(
+        dataset, HIDDEN_DIM, np.random.default_rng(0))
+    config = MiniBatchConfig(
+        epochs=EPOCHS, patience=EPOCHS + 1, batch_size=BATCH_SIZE,
+        fanout=FANOUT, batches_per_epoch=BATCHES_PER_EPOCH,
+        eval_batch_size=BATCH_SIZE, eval_every=1)
+    trainer = MiniBatchTrainer(model, features, dataset, config)
+    # evaluate only a slice of val/test — this guard times the sampled
+    # loop, it does not chase benchmark-quality F1 on 50k nodes
+    dataset.split.val = dataset.split.val[:BATCH_SIZE]
+    dataset.split.test = dataset.split.test[:BATCH_SIZE]
+    with activation_watermark() as mark:
+        result = trainer.train()
+    bound = trainer.sampler.max_view_nodes(BATCH_SIZE)
+    return {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges(),
+        "num_relations": graph.num_relations,
+        "peak_rows": mark["rows"],
+        "peak_view_nodes": trainer.peak_view_nodes,
+        "fanout_bound": bound,
+        "train_loss": result.history["train_loss"],
+        "train_seconds": result.train_seconds,
+        "macro_f1": result.macro_f1,
+    }
+
+
+def test_minibatch_scale(benchmark, record_benchmark):
+    result = run_once(benchmark, drive)
+    n = result["num_nodes"]
+    record_benchmark("minibatch_peak_rows", result["peak_rows"], "rows")
+    record_benchmark("minibatch_peak_fraction",
+                     result["peak_rows"] / n, "frac")
+    record_benchmark("minibatch_step_seconds",
+                     result["train_seconds"]
+                     / (EPOCHS * BATCHES_PER_EPOCH), "s")
+    print()
+    print(f"nodes={n}  edges={result['num_edges']}")
+    print(f"peak tensor rows  {result['peak_rows']}  "
+          f"({result['peak_rows'] / n:.2%} of N)")
+    print(f"peak view nodes   {result['peak_view_nodes']}  "
+          f"(fan-out bound {result['fanout_bound']})")
+    print(f"train loss        {result['train_loss'][0]:.4f} -> "
+          f"{min(result['train_loss']):.4f}")
+
+    assert n >= 50_000
+    # the sampled path must never touch an (N, ·) tensor: peak rows stay
+    # a small fraction of the graph...
+    assert result["peak_rows"] < n * 0.25, (
+        f"sampled path materialized a {result['peak_rows']}-row tensor "
+        f"on a {n}-node graph")
+    # ...and inside the sampler's analytic fan-out bound (loose factor
+    # for the per-edge tensors, which exceed node counts but are equally
+    # fan-out-bounded: E_view <= R * fanout * V_view)
+    assert result["peak_view_nodes"] <= result["fanout_bound"]
+    # per-edge tensors exceed node counts but are equally fan-out
+    # bounded: E_view <= V_view * R * fanout (+ self loops)
+    edge_bound = result["fanout_bound"] * (
+        result["num_relations"] * FANOUT + 1)
+    assert result["peak_rows"] <= edge_bound
+    # the stochastic loop must actually optimize
+    assert min(result["train_loss"]) < result["train_loss"][0], (
+        "mini-batch training did not reduce the loss")

@@ -43,6 +43,20 @@ class CompletionOp(Module):
         """
         raise NotImplementedError
 
+    def forward_rows(self, rows: np.ndarray) -> Tensor:
+        """Complete only the given rows of ``missing_global_ids``.
+
+        The mini-batch execution path: a sampled view touches a handful of
+        V⁻ nodes, and ops that can should produce exactly those rows —
+        shape ``(len(rows), hidden_dim)`` — without materializing the full
+        ``(num_missing, hidden_dim)`` block.  The base implementation
+        falls back to slicing the full forward (correct, not bounded);
+        every op in the shipped search space overrides it.
+        """
+        from ..tensor import gather_rows
+
+        return gather_rows(self.forward(), np.asarray(rows, dtype=np.int64))
+
     def forward_from_cache(self, value: Optional[np.ndarray]) -> Tensor:
         """Forward pass that may reuse a previously computed output value.
 

@@ -23,12 +23,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..datasets import HeteroDataset
+from ..graph.sampler import GraphView
 from ..tensor import (
     Linear,
     Module,
     ModuleDict,
     ModuleList,
     Tensor,
+    gather_rows,
     get_default_dtype,
     is_grad_enabled,
     no_grad,
@@ -57,17 +59,36 @@ class AttributeProjector(Module):
             for node_type in dataset.attributed_types
         }
 
-    def forward(self) -> Tensor:
-        """Project every attributed type; returns ``(N, hidden)`` with V⁻ rows zero."""
-        n = self.dataset.graph.num_nodes
-        pieces = []
-        for node_type in self.dataset.attributed_types:
-            raw = Tensor(self._raw[node_type])
-            projected = self.projections[node_type](raw)
-            ids = self.dataset.graph.global_ids(node_type)
-            pieces.append(scatter_add(projected, ids, n))
-        if not pieces:
-            raise ValueError("dataset has no attributed node types")
+    def forward(self, view: Optional[GraphView] = None) -> Tensor:
+        """Project every attributed type; V⁻ rows stay zero.
+
+        Full graph: ``(N, hidden)``.  With a :class:`~repro.graph.GraphView`
+        only the view's attributed members are gathered and projected, so
+        both the output and every intermediate are ``(V, hidden)``-sized.
+        """
+        if view is None:
+            n = self.dataset.graph.num_nodes
+            pieces = []
+            for node_type in self.dataset.attributed_types:
+                raw = Tensor(self._raw[node_type])
+                projected = self.projections[node_type](raw)
+                ids = self.dataset.graph.global_ids(node_type)
+                pieces.append(scatter_add(projected, ids, n))
+            if not pieces:
+                raise ValueError("dataset has no attributed node types")
+        else:
+            n = view.num_nodes
+            pieces = []
+            for node_type in self.dataset.attributed_types:
+                view_local, parent_local = view.type_members(node_type)
+                if view_local.size == 0:
+                    continue
+                raw = Tensor(self._raw[node_type][parent_local])
+                projected = self.projections[node_type](raw)
+                pieces.append(scatter_add(projected, view_local, n))
+            if not pieces:  # a batch may touch no attributed node at all
+                return Tensor(np.zeros((n, self.hidden_dim),
+                                       dtype=get_default_dtype()))
         out = pieces[0]
         for piece in pieces[1:]:
             out = out + piece
@@ -118,16 +139,51 @@ class FeatureBuilder(Module):
         """Completed attributes for V⁻ (``(num_missing, hidden)``) or None."""
         raise NotImplementedError
 
-    def _projected(self) -> Tensor:
-        """The projected-V⁺ block ``h0`` starts from (overridable hook)."""
-        return self.projector()
+    def completed_rows(self, rows: np.ndarray) -> Optional[Tensor]:
+        """Completed attributes for the given ``missing_global_ids`` rows.
 
-    def forward(self) -> Tensor:
-        h0 = self._projected()
+        The sampled execution path: shape ``(len(rows), hidden)``.  The
+        base implementation slices the full completion (correct but not
+        memory-bounded); builders whose ops support ``forward_rows``
+        override it.
+        """
         completed = self.completed()
-        if completed is not None and self.dataset.missing_global_ids.size:
-            h0 = h0 + scatter_add(completed, self.dataset.missing_global_ids,
-                                  self.dataset.graph.num_nodes)
+        if completed is None:
+            return None
+        return gather_rows(completed, np.asarray(rows, dtype=np.int64))
+
+    def _view_missing(self, view: GraphView) -> tuple:
+        """``(view_local_positions, missing_rows)`` of the view's V⁻ nodes.
+
+        Keyed per dataset: two datasets can share a graph (e.g. the
+        lowered-missing-rate protocol) yet disagree on which types are V⁻.
+        """
+        def build() -> tuple:
+            lookup = self.dataset.missing_row_of_global()
+            rows_all = lookup[view.node_ids]
+            positions = np.flatnonzero(rows_all >= 0).astype(np.int64)
+            return positions, rows_all[positions]
+        return view.cached(("missing_rows", id(self.dataset)), build)
+
+    def _projected(self, view: Optional[GraphView] = None) -> Tensor:
+        """The projected-V⁺ block ``h0`` starts from (overridable hook)."""
+        return self.projector(view)
+
+    def forward(self, view: Optional[GraphView] = None) -> Tensor:
+        if view is None:
+            h0 = self._projected()
+            completed = self.completed()
+            if completed is not None and self.dataset.missing_global_ids.size:
+                h0 = h0 + scatter_add(completed,
+                                      self.dataset.missing_global_ids,
+                                      self.dataset.graph.num_nodes)
+            return h0
+        h0 = self._projected(view)
+        positions, rows = self._view_missing(view)
+        if rows.size:
+            completed = self.completed_rows(rows)
+            if completed is not None:
+                h0 = h0 + scatter_add(completed, positions, view.num_nodes)
         return h0
 
 
@@ -142,6 +198,11 @@ class HandcraftedFeatures(FeatureBuilder):
         if not self.dataset.missing_global_ids.size:
             return None
         return self.one_hot()
+
+    def completed_rows(self, rows: np.ndarray) -> Optional[Tensor]:
+        if not self.dataset.missing_global_ids.size:
+            return None
+        return self.one_hot.forward_rows(rows)
 
 
 class SingleOpFeatures(FeatureBuilder):
@@ -161,6 +222,11 @@ class SingleOpFeatures(FeatureBuilder):
         if not self.dataset.missing_global_ids.size:
             return None
         return self.op()
+
+    def completed_rows(self, rows: np.ndarray) -> Optional[Tensor]:
+        if not self.dataset.missing_global_ids.size:
+            return None
+        return self.op.forward_rows(rows)
 
 
 @dataclass
@@ -259,7 +325,9 @@ class WeightedCompletionFeatures(FeatureBuilder):
             return Tensor(cache.ops[op_index])
         return op.forward_from_cache(cache.ops[op_index])
 
-    def _projected(self) -> Tensor:
+    def _projected(self, view: Optional[GraphView] = None) -> Tensor:
+        if view is not None:  # the candidate cache is a full-graph construct
+            return self.projector(view)
         cache = self._candidates
         mode = self._candidate_mode
         if cache is not None and mode == "detached":
@@ -281,6 +349,33 @@ class WeightedCompletionFeatures(FeatureBuilder):
             term = column * self._op_output(op_index, op)
             total = term if total is None else total + term
         if total is None:  # all weights zero (cannot happen with one-hot rows)
+            raise RuntimeError("no completion op active")
+        return total
+
+    def completed_rows(self, rows: np.ndarray) -> Optional[Tensor]:
+        """Mix per-row op outputs for the sampled V⁻ rows only.
+
+        Each active op contributes ``forward_rows(rows)``; weights are the
+        matching rows of the externally supplied weight matrix.  Ops whose
+        weight is zero on *these* rows are skipped, so discrete
+        constraints save the same work per batch they save full-graph.
+        """
+        if not self.dataset.missing_global_ids.size:
+            return None
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return None
+        if self._weights is None:
+            raise RuntimeError("call set_weights() before forward()")
+        weight_rows = gather_rows(self._weights, rows)
+        total = None
+        for op_index, op in enumerate(self.ops):
+            column = weight_rows[:, op_index].reshape(-1, 1)
+            if not column.requires_grad and not np.any(column.data):
+                continue
+            term = column * op.forward_rows(rows)
+            total = term if total is None else total + term
+        if total is None:
             raise RuntimeError("no completion op active")
         return total
 

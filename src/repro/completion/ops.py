@@ -29,8 +29,8 @@ import scipy.sparse as sp
 
 from .. import graph as G
 from ..datasets import HeteroDataset
-from ..tensor import (Parameter, SparseTensor, Tensor, get_default_dtype,
-                      init, is_grad_enabled)
+from ..tensor import (Parameter, SparseTensor, Tensor, gather_rows,
+                      get_default_dtype, init, is_grad_enabled)
 from .base import CompletionOp
 
 #: process-wide default for the ``use_sparse`` constructor flag; flip to
@@ -91,6 +91,16 @@ class PropagatedCompletion(CompletionOp):
 
     def forward(self) -> Tensor:
         return Tensor(self._base) @ self.weight
+
+    def forward_rows(self, rows: np.ndarray) -> Tensor:
+        """``base[rows] @ W`` — per-row completion for the sampled path.
+
+        The gathered base block is ``(len(rows), raw_dim)``, so neither
+        the forward nor its backward (``dL/dW = base[rows].T @ grad``)
+        ever touches a ``(num_missing, ·)`` activation.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return Tensor(self._base[rows]) @ self.weight
 
     def forward_from_cache(self, value: Optional[np.ndarray]) -> Tensor:
         if value is None:
@@ -191,6 +201,10 @@ class OneHotCompletion(CompletionOp):
 
     def forward(self) -> Tensor:
         return self.table
+
+    def forward_rows(self, rows: np.ndarray) -> Tensor:
+        """Embedding lookup for the sampled rows only."""
+        return gather_rows(self.table, np.asarray(rows, dtype=np.int64))
 
 
 __all__ = [

@@ -6,7 +6,7 @@ link prediction (Table V) plug in through this small protocol.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Optional, Protocol
 
 import numpy as np
 
@@ -54,6 +54,23 @@ class NodeClassificationAdapter:
         split = self.dataset.split
         logits = self._logits(model, features)
         loss = cross_entropy(logits[split.train], self.dataset.labels[split.train])
+        if getattr(model, "has_auxiliary_loss", False):
+            loss = loss + model.auxiliary_loss()
+        return loss
+
+    def train_loss_on_batch(self, model: BaseHGNN, features: FeatureBuilder,
+                            view, batch_local: np.ndarray,
+                            h0: Optional[Tensor] = None) -> Tensor:
+        """Training loss of one sampled batch (the stochastic lower step).
+
+        ``view`` is a :class:`~repro.graph.GraphView` whose seeds are the
+        ``batch_local`` target-type nodes; ``h0`` is built for the view
+        only (callers that already have it pass it in to skip a second
+        builder forward), so this never touches an ``(N, hidden)``
+        activation.
+        """
+        logits = model(features(view) if h0 is None else h0, view=view)
+        loss = cross_entropy(logits, self.dataset.labels[batch_local])
         if getattr(model, "has_auxiliary_loss", False):
             loss = loss + model.auxiliary_loss()
         return loss

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..training.minibatch import MiniBatchConfig
 from ..training.trainer import TrainConfig
 
 
@@ -46,6 +47,14 @@ class AutoACConfig:
     #: "reference", on in "fast"); ignored for the unrolled mixture
     #: ablation, whose upper step needs live w gradients
     candidate_cache: Optional[bool] = None
+    #: sampled lower level: when set, every lower ``w`` step trains on a
+    #: neighbor-sampled view around a batch of training seeds (only the
+    #: ``batch_size`` / ``fanout`` / ``num_layers`` / ``sample_seed``
+    #: fields are consulted), while the upper alpha step, the clustering
+    #: refresh signal and validation stay full-graph — the paper's
+    #: Algorithm 1 unchanged in expectation.  Requires a
+    #: ``supports_sampling`` backbone and a node-classification adapter.
+    minibatch: Optional[MiniBatchConfig] = None
     retrain: TrainConfig = field(default_factory=TrainConfig)
     model_kwargs: Dict = field(default_factory=dict)
 

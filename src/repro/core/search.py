@@ -26,6 +26,7 @@ import numpy as np
 
 from ..completion import SearchSpace, WeightedCompletionFeatures
 from ..datasets import HeteroDataset
+from ..graph.sampler import NeighborSampler
 from ..models import build_model
 from ..perf.profiles import current_profile
 from ..tensor import Adam, Tensor, gather_rows, no_grad
@@ -142,6 +143,41 @@ class AutoACSearcher:
         if not cfg.discrete and cfg.unrolled:
             use_cache = False
         self.use_candidate_cache = use_cache
+
+        # sampled lower level ---------------------------------------------
+        # cfg.minibatch makes every lower w step train on a neighbor-
+        # sampled view around a fresh batch of training seeds; the upper
+        # alpha step, validation and the refresh signal stay full-graph.
+        self._mb_sampler = None
+        if cfg.minibatch is not None:
+            if not getattr(self.model, "supports_sampling", False):
+                raise ValueError(
+                    f"minibatch search needs a supports_sampling backbone; "
+                    f"{model_name!r} is full-graph only")
+            if not hasattr(self.adapter, "train_loss_on_batch"):
+                raise ValueError(
+                    "minibatch search needs an adapter exposing "
+                    "train_loss_on_batch (node classification)")
+            mb = cfg.minibatch
+            num_layers = mb.num_layers or getattr(self.model, "num_layers", 2)
+            self._mb_sampler = NeighborSampler(
+                self.dataset.graph, fanout=mb.fanout, num_layers=num_layers,
+                seed=mb.sample_seed)
+            self._mb_rng = np.random.default_rng(mb.sample_seed)
+            n = self.dataset.graph.num_nodes
+            # stochastic refresh signals: per-node rows updated whenever a
+            # view touches them (plain data buffers, not activations).
+            # The assignment buffer starts one-hot at the initial random
+            # clustering so the first refresh preserves it for nodes no
+            # view has touched yet (a uniform init would argmax them all
+            # into cluster 0); the h0 buffer is seeded lazily from one
+            # no-grad full forward on the first lower step.
+            if self.cluster_head is not None:
+                self._assignment_buffer = np.zeros((n, cfg.num_clusters))
+                self._assignment_buffer[self.dataset.missing_global_ids,
+                                        self.cluster_labels] = 1.0
+            if self.em_assigner is not None:
+                self._h0_buffer = None
 
     # ------------------------------------------------------------------
     # weight plumbing
@@ -270,8 +306,62 @@ class AutoACSearcher:
     # ------------------------------------------------------------------
     # lower level
     # ------------------------------------------------------------------
+    def _lower_step_minibatch(self) -> Dict[str, float]:
+        """Stochastic lower step: one sampled batch instead of the graph.
+
+        The gradient of the batch cross-entropy is an unbiased estimate
+        of the full train loss gradient (uniform seed batches); the
+        modularity term is evaluated on the sampled sub-adjacency.  The
+        per-epoch candidate cache is bypassed — a view computes its own
+        handful of completion rows directly — but still invalidated, so
+        the (full-graph) upper step never replays stale candidates.
+        """
+        cfg = self.config
+        mb = cfg.minibatch
+        if cfg.discrete:
+            self._set_node_weights(self._current_discrete_rows())
+        else:
+            self._set_node_weights(self.mixture.weights())
+        split = self.dataset.split
+        size = min(mb.batch_size, split.train.shape[0])
+        batch = self._mb_rng.choice(split.train, size=size, replace=False)
+        seeds = self.dataset.graph.to_global(self.dataset.target_type, batch)
+        view = self._mb_sampler.sample(seeds)
+        self.w_optimizer.zero_grad()
+        # one view feature forward, shared by the loss, the cluster head
+        # and the refresh buffers (mirrors the full path's pre-step h0)
+        h0_view = self.features(view)
+        loss = self.adapter.train_loss_on_batch(self.model, self.features,
+                                                view, batch, h0=h0_view)
+        record: Dict[str, float] = {"train_loss": loss.item()}
+        if self.cluster_head is not None:
+            assignment = self.cluster_head(h0_view)
+            sub_adj = view.adjacency_sparse(symmetric=True).to_scipy()
+            if sub_adj.nnz:
+                degrees = np.asarray(sub_adj.sum(axis=1)).ravel()
+                lgmoc = modularity_loss(assignment, sub_adj, degrees,
+                                        collapse_weight=cfg.collapse_weight)
+                loss = loss + lgmoc * cfg.lambda_cluster
+                record["lgmoc"] = lgmoc.item()
+            self._assignment_buffer[view.node_ids] = assignment.data
+            self._last_assignment = self._assignment_buffer
+        if self.em_assigner is not None:
+            if self._h0_buffer is None:
+                with no_grad():
+                    self._h0_buffer = self.features().data.copy()
+            self._h0_buffer[view.node_ids] = h0_view.data
+            self._last_h0 = self._h0_buffer
+        loss.backward()
+        self.w_optimizer.step()
+        self._invalidate_candidates()  # w changed: snapshot is stale
+        if not cfg.discrete:
+            self.mixture.logits.zero_grad()
+        return record
+
     def _lower_step(self) -> Dict[str, float]:
         cfg = self.config
+        if cfg.minibatch is not None:
+            return self._lower_step_minibatch()
         if cfg.discrete:
             self._set_node_weights(self._current_discrete_rows())
         else:

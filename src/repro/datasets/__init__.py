@@ -7,6 +7,7 @@ from .generator import (
     RelationSpec,
     SchemaSpec,
     generate,
+    scale_spec,
     search_benchmark_spec,
     sparse_benchmark_spec,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "generate",
     "sparse_benchmark_spec",
     "search_benchmark_spec",
+    "scale_spec",
     "DBLP_SPEC",
     "ACM_SPEC",
     "IMDB_SPEC",

@@ -84,6 +84,24 @@ class HeteroDataset:
     def attribute_missing_rate(self) -> float:
         return self.missing_global_ids.shape[0] / self.graph.num_nodes
 
+    def missing_row_of_global(self) -> np.ndarray:
+        """Per-global-node row index into ``missing_global_ids`` (-1 for V⁺).
+
+        The inverse of ``missing_global_ids`` — sampled execution needs to
+        map the handful of V⁻ nodes a :class:`~repro.graph.GraphView`
+        touches to their completion rows without scanning.  Cached against
+        the current node count (graph mutations such as ``append_node``
+        shift global ids and rebuild it).
+        """
+        cached = self.__dict__.get("_missing_row_cache")
+        if cached is not None and cached[0] == self.graph.num_nodes:
+            return cached[1]
+        lookup = np.full(self.graph.num_nodes, -1, dtype=np.int64)
+        missing = self.missing_global_ids
+        lookup[missing] = np.arange(missing.shape[0], dtype=np.int64)
+        self.__dict__["_missing_row_cache"] = (self.graph.num_nodes, lookup)
+        return lookup
+
     def feature_matrix_zero_filled(self, dim: Optional[int] = None) -> np.ndarray:
         """Global ``(N, d)`` raw feature matrix with missing rows zeroed.
 

@@ -201,6 +201,36 @@ def search_benchmark_spec(num_nodes: int = 3000,
     )
 
 
+def scale_spec(num_nodes: int = 50_000,
+               avg_degree: float = 6.0,
+               num_classes: int = 8,
+               attribute_dim: int = 64) -> SchemaSpec:
+    """Schema for the mini-batch scale benchmark (~50k nodes by default).
+
+    Citation-style graph (papers attributed + labelled, authors V⁻) sized
+    an order of magnitude past the HGB-style specs: large enough that a
+    full-graph ``(N, hidden)`` forward is the dominant memory cost, small
+    enough to generate in seconds.  ``benchmarks/test_minibatch_scale.py``
+    trains it through :class:`~repro.training.MiniBatchTrainer` and
+    asserts the peak forward-tensor rows stay bounded by batch fan-out —
+    the contract every future sharding/async PR builds on.
+    """
+    n_paper = int(round(num_nodes * 0.7))
+    n_author = num_nodes - n_paper
+    return SchemaSpec(
+        name=f"scale-{num_nodes}",
+        node_counts={"paper": n_paper, "author": n_author},
+        relations=(
+            RelationSpec("paper", "cites", "paper", avg_degree / 2.0),
+            RelationSpec("paper", "written_by", "author", avg_degree / 2.0),
+        ),
+        target_type="paper",
+        attributed_types=("paper",),
+        num_classes=num_classes,
+        attribute_dim=attribute_dim,
+    )
+
+
 def generate(spec: SchemaSpec, seed: int = 0,
              split_fractions: Tuple[float, float, float] = (0.24, 0.06, 0.70)
              ) -> HeteroDataset:
@@ -275,4 +305,4 @@ def generate(spec: SchemaSpec, seed: int = 0,
 
 
 __all__ = ["RelationSpec", "SchemaSpec", "generate", "sparse_benchmark_spec",
-           "search_benchmark_spec"]
+           "search_benchmark_spec", "scale_spec"]

@@ -12,6 +12,7 @@ from .adjacency import (
 )
 from .hetero import HeteroGraph, NodeTypeInfo, Relation
 from .metapath import DEFAULT_METAPATHS, metapath_adjacency, metapath_edge_list
+from .sampler import FanoutSpec, GraphView, NeighborSampler
 from .modularity import collapse_regularization, hard_modularity, modularity_value
 from .walks import metapath_random_walks, typed_neighbor_sample, uniform_random_walks
 
@@ -19,6 +20,9 @@ __all__ = [
     "HeteroGraph",
     "NodeTypeInfo",
     "Relation",
+    "GraphView",
+    "NeighborSampler",
+    "FanoutSpec",
     "LRUCache",
     "NORMALIZATION_MODES",
     "normalize_adjacency",

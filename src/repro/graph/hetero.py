@@ -194,6 +194,30 @@ class HeteroGraph:
     def num_relations(self) -> int:
         return len(self.relations)
 
+    def edge_arrays_with_self_loops(
+            self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Global ``(src, dst, etype)`` arrays plus a self-loop pseudo-relation.
+
+        Self loops get their own edge-type id (``num_relations``), the HGB
+        convention SimpleHGN relies on.  Built once per graph (cached with
+        the other global structures; invalidated on mutation) — the GNN zoo
+        constructs several edge-list models per search epoch over the same
+        topology, and each used to re-concatenate these arrays.
+        """
+        key = "edges_with_self_loops"
+        if key not in self._cache:
+            src, dst, etype = self.all_edges_global()
+            loops = np.arange(self.num_nodes, dtype=np.int64)
+            self._cache[key] = (
+                np.concatenate([src, loops]),
+                np.concatenate([dst, loops]),
+                np.concatenate([etype,
+                                np.full(self.num_nodes, self.num_relations,
+                                        dtype=np.int64)]),
+                self.num_relations + 1,
+            )
+        return self._cache[key]  # type: ignore[return-value]
+
     # ------------------------------------------------------------------
     # Homogeneous views
     # ------------------------------------------------------------------
@@ -421,8 +445,9 @@ class HeteroGraph:
     def _invalidate_for_type(self, node_type: str) -> None:
         """Drop caches a ``node_type`` mutation stales, keeping the rest.
 
-        Global structures (id space shifted) always go; per-type blocks
-        and biadjacencies survive unless they involve ``node_type``.
+        Global structures (id space shifted) always go; per-type blocks,
+        biadjacencies and the sampler's per-relation CSR lists survive
+        unless their relation involves ``node_type``.
         """
         self._cache.clear()
 
@@ -430,7 +455,7 @@ class HeteroGraph:
             if not isinstance(key, tuple) or not key:
                 return True
             scope = key[0]
-            if scope == "biadjacency":
+            if scope in ("biadjacency", "sample_csr"):
                 relation = key[1]
                 return node_type in (relation[0], relation[2])
             if scope == "block":

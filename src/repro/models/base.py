@@ -8,6 +8,13 @@ produced by a feature builder) and exposes:
 * ``forward(h0)`` — classification logits over the target type.
 
 Link prediction uses ``encode`` directly (only full-graph models qualify).
+
+Sampled execution: models that declare ``supports_sampling = True``
+additionally accept a :class:`~repro.graph.GraphView` — ``encode(h0_view,
+view=view)`` runs the same layer math over the view's sub-operators and
+returns ``(V, d)`` where ``V`` is the view size, with the batch's seed
+nodes in the first rows.  Full-graph-only models keep the default
+``supports_sampling = False`` and raise a clear error if handed a view.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..datasets import HeteroDataset
+from ..graph.sampler import GraphView
 from ..tensor import Linear, Module, Tensor
 
 
@@ -25,6 +33,10 @@ class BaseHGNN(Module):
 
     #: whether ``encode`` covers all global nodes (needed for link prediction)
     full_graph: bool = True
+    #: whether ``encode``/``forward`` accept a sampled ``view=`` (mini-batch
+    #: execution); models without a view-aware message-passing path keep
+    #: False and are rejected by the mini-batch trainer up front
+    supports_sampling: bool = False
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int,
                  out_dim: int) -> None:
@@ -35,18 +47,37 @@ class BaseHGNN(Module):
         self.classifier = Linear(out_dim, dataset.num_classes)
 
     # ------------------------------------------------------------------
-    def encode(self, h0: Tensor) -> Tensor:
+    def encode(self, h0: Tensor,
+               view: Optional[GraphView] = None) -> Tensor:
         raise NotImplementedError
 
-    def target_embeddings(self, h0: Tensor) -> Tensor:
-        """Representations of the target type, shape ``(N_target, out_dim)``."""
+    def _require_sampling(self) -> None:
+        if not self.supports_sampling:
+            raise ValueError(
+                f"{type(self).__name__} is full-graph only "
+                f"(supports_sampling=False); it cannot run on a sampled "
+                f"GraphView")
+
+    def target_embeddings(self, h0: Tensor,
+                          view: Optional[GraphView] = None) -> Tensor:
+        """Target-type representations.
+
+        Full graph: ``(N_target, out_dim)``.  With a view whose seeds are
+        target-type nodes: ``(B, out_dim)`` — the seed rows, which the
+        sampler places first in the view.
+        """
+        if view is not None:
+            self._require_sampling()
+            encoded = self.encode(h0, view=view)
+            return encoded[view.seed_local]
         encoded = self.encode(h0)
         if self.full_graph:
             return encoded[self.dataset.graph.global_ids(self.dataset.target_type)]
         return encoded
 
-    def forward(self, h0: Tensor) -> Tensor:
-        return self.classifier(self.target_embeddings(h0))
+    def forward(self, h0: Tensor,
+                view: Optional[GraphView] = None) -> Tensor:
+        return self.classifier(self.target_embeddings(h0, view=view))
 
 
 def edge_arrays_with_self_loops(
@@ -56,17 +87,12 @@ def edge_arrays_with_self_loops(
 
     Self loops get their own edge-type id (``num_relations``), the HGB
     convention SimpleHGN relies on.  Returns ``(src, dst, etype,
-    num_edge_types)``.
+    num_edge_types)``.  The arrays are built once per graph and cached on
+    it (see :meth:`repro.graph.HeteroGraph.edge_arrays_with_self_loops`) —
+    every edge-list model constructed over the same topology shares them;
+    sampled views cache their own analogue per view.
     """
-    graph = dataset.graph
-    src, dst, etype = graph.all_edges_global()
-    loops = np.arange(graph.num_nodes, dtype=np.int64)
-    src = np.concatenate([src, loops])
-    dst = np.concatenate([dst, loops])
-    etype = np.concatenate([etype,
-                            np.full(graph.num_nodes, graph.num_relations,
-                                    dtype=np.int64)])
-    return src, dst, etype, graph.num_relations + 1
+    return dataset.graph.edge_arrays_with_self_loops()
 
 
 __all__ = ["BaseHGNN", "edge_arrays_with_self_loops"]

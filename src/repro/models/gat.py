@@ -7,9 +7,12 @@ hyperparameter per dataset in the paper's Appendix B).
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from ..datasets import HeteroDataset
+from ..graph.sampler import GraphView
 from ..tensor import (
     Dropout,
     Linear,
@@ -51,30 +54,39 @@ class GATLayer(Module):
                                   name="attn_dst")
         self.attn_dropout = Dropout(attn_dropout)
 
-    def forward(self, h: Tensor) -> Tensor:
-        n = self.num_nodes
+    def forward(self, h: Tensor,
+                edges: Optional[Tuple[np.ndarray, np.ndarray, int]] = None
+                ) -> Tensor:
+        """One attention layer over the constructor's edges — or, for the
+        sampled path, over an explicit ``(src, dst, num_nodes)`` triple in
+        view-local ids (the weights are topology-free, so they transfer)."""
+        if edges is None:
+            src, dst, n = self.src, self.dst, self.num_nodes
+        else:
+            src, dst, n = edges
         projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
         score_src = head_dot(projected, self.attn_src)  # (N, H)
         score_dst = head_dot(projected, self.attn_dst)
         edge_score = leaky_relu(
-            gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst),
+            gather_rows(score_src, src) + gather_rows(score_dst, dst),
             self.negative_slope,
         )
-        alpha = segment_softmax(edge_score, self.dst, n)  # (E, H)
+        alpha = segment_softmax(edge_score, dst, n)  # (E, H)
         alpha = self.attn_dropout(alpha)
         if fused_kernels_enabled():
             # one node for gather × alpha × scatter (no (E, H, d) graph
             # intermediates); values match the composite
-            out = attention_aggregate(alpha, projected, self.src, self.dst, n)
+            out = attention_aggregate(alpha, projected, src, dst, n)
         else:
-            messages = gather_rows(projected, self.src) * alpha.reshape(
+            messages = gather_rows(projected, src) * alpha.reshape(
                 -1, self.num_heads, 1)
-            out = scatter_add(messages, self.dst, n)
+            out = scatter_add(messages, dst, n)
         return out.reshape(n, self.num_heads * self.head_dim)
 
 
 class GAT(BaseHGNN):
     full_graph = True
+    supports_sampling = True
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
                  out_dim: int = 64, num_layers: int = 2, num_heads: int = 4,
@@ -91,10 +103,14 @@ class GAT(BaseHGNN):
         ])
         self.dropout = Dropout(dropout)
 
-    def encode(self, h0: Tensor) -> Tensor:
+    def encode(self, h0: Tensor, view: Optional[GraphView] = None) -> Tensor:
+        edges = None
+        if view is not None:
+            src, dst, _, _ = view.edge_arrays_with_self_loops()
+            edges = (src, dst, view.num_nodes)
         h = h0
         for index, layer in enumerate(self.layers):
-            h = layer(self.dropout(h))
+            h = layer(self.dropout(h), edges)
             if index < self.num_layers - 1:
                 h = elu(h)
         return h

@@ -11,13 +11,17 @@ memory).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..datasets import HeteroDataset
+from ..graph.sampler import GraphView
 from ..tensor import Dropout, Linear, ModuleList, Tensor, relu, spmm
 from .base import BaseHGNN
 
 
 class GCN(BaseHGNN):
     full_graph = True
+    supports_sampling = True
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
                  out_dim: int = 64, num_layers: int = 2,
@@ -39,10 +43,15 @@ class GCN(BaseHGNN):
             return spmm(self.adj, h)
         return self._adj_dense @ h
 
-    def encode(self, h0: Tensor) -> Tensor:
+    def encode(self, h0: Tensor, view: Optional[GraphView] = None) -> Tensor:
+        if view is not None:
+            # normalized sub-adjacency, memoized on the (immutable) view —
+            # always the CSR path: a view is batch-fan-out sized by design
+            adj = view.normalized_adjacency(mode="sym", self_loops=True)
         h = h0
         for index, layer in enumerate(self.layers):
-            h = self._propagate(layer(self.dropout(h)))
+            h = layer(self.dropout(h))
+            h = spmm(adj, h) if view is not None else self._propagate(h)
             if index < self.num_layers - 1:
                 h = relu(h)
         return h

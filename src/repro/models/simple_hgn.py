@@ -24,6 +24,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..datasets import HeteroDataset
+from ..graph.sampler import GraphView
 from ..tensor import (
     Dropout,
     Linear,
@@ -100,34 +101,45 @@ class SimpleHGNLayer(Module):
                 aggregation = build_attention_pattern(src, dst, num_nodes)
             self._edge_order, self._pattern = aggregation
 
-    def forward(self, h: Tensor, alpha_prev: Optional[Tensor] = None):
-        n = self.num_nodes
+    def forward(self, h: Tensor, alpha_prev: Optional[Tensor] = None,
+                topo: Optional[tuple] = None):
+        """One layer over the constructor topology or, for the sampled
+        path, an explicit ``(src, dst, etype, num_nodes, edge_order,
+        pattern)`` tuple in view-local ids (``edge_order``/``pattern`` may
+        be None to force the gather/scatter route).  Edge-type ids are
+        shared with the full graph, so the edge-type table transfers."""
+        if topo is None:
+            src, dst, etype, n = self.src, self.dst, self.etype, self.num_nodes
+            edge_order = self._edge_order if self.use_sparse else None
+            pattern = self._pattern if self.use_sparse else None
+        else:
+            src, dst, etype, n, edge_order, pattern = topo
         projected = self.proj(h).reshape(n, self.num_heads, self.head_dim)
         score_src = head_dot(projected, self.attn_src)
         score_dst = head_dot(projected, self.attn_dst)
-        edge_embed = gather_rows(self.edge_table, self.etype).reshape(
+        edge_embed = gather_rows(self.edge_table, etype).reshape(
             -1, self.num_heads, self.edge_dim)
         score_edge = head_dot(edge_embed, self.attn_edge)  # (E, H)
         logits = leaky_relu(
-            gather_rows(score_src, self.src) + gather_rows(score_dst, self.dst)
+            gather_rows(score_src, src) + gather_rows(score_dst, dst)
             + score_edge,
             self.negative_slope,
         )
-        alpha = segment_softmax(logits, self.dst, n)
+        alpha = segment_softmax(logits, dst, n)
         if alpha_prev is not None and self.beta > 0:
             alpha = alpha * (1.0 - self.beta) + alpha_prev * self.beta
         alpha = self.attn_dropout(alpha)
-        if self.use_sparse:
-            alpha_sorted = gather_rows(alpha, self._edge_order)  # (E, H)
-            out = weighted_spmm(self._pattern, alpha_sorted, projected)
+        if self.use_sparse and pattern is not None:
+            alpha_sorted = gather_rows(alpha, edge_order)  # (E, H)
+            out = weighted_spmm(pattern, alpha_sorted, projected)
             out = out.reshape(n, self.num_heads * self.head_dim)
         elif fused_kernels_enabled():
-            out = attention_aggregate(alpha, projected, self.src, self.dst,
+            out = attention_aggregate(alpha, projected, src, dst,
                                       n).reshape(n, self.num_heads * self.head_dim)
         else:
-            messages = gather_rows(projected, self.src) * alpha.reshape(
+            messages = gather_rows(projected, src) * alpha.reshape(
                 -1, self.num_heads, 1)
-            out = scatter_add(messages, self.dst, n).reshape(
+            out = scatter_add(messages, dst, n).reshape(
                 n, self.num_heads * self.head_dim)
         if self.residual_proj is not None:
             out = out + self.residual_proj(h)
@@ -136,6 +148,7 @@ class SimpleHGNLayer(Module):
 
 class SimpleHGN(BaseHGNN):
     full_graph = True
+    supports_sampling = True
 
     def __init__(self, dataset: HeteroDataset, hidden_dim: int = 64,
                  out_dim: int = 64, num_layers: int = 2, num_heads: int = 4,
@@ -148,6 +161,7 @@ class SimpleHGN(BaseHGNN):
         n = dataset.graph.num_nodes
         self.num_layers = num_layers
         self.normalize_output = normalize_output
+        self.use_sparse = bool(use_sparse)
         aggregation = (build_attention_pattern(src, dst, n)
                        if use_sparse else None)
         dims = [hidden_dim] * num_layers + [out_dim]
@@ -160,11 +174,29 @@ class SimpleHGN(BaseHGNN):
         ])
         self.dropout = Dropout(dropout)
 
-    def encode(self, h0: Tensor) -> Tensor:
+    def _view_topology(self, view: GraphView) -> tuple:
+        """The layer-shared topology tuple of a view, memoized on it.
+
+        The attention CSR pattern depends only on the view's topology, so
+        every SimpleHGN layer — and every SimpleHGN instance run over the
+        same view — shares one pattern.
+        """
+        src, dst, etype, _ = view.edge_arrays_with_self_loops()
+        n = view.num_nodes
+        if self.use_sparse:
+            edge_order, pattern = view.cached(
+                ("attention_pattern",),
+                lambda: build_attention_pattern(src, dst, n))
+        else:
+            edge_order = pattern = None
+        return (src, dst, etype, n, edge_order, pattern)
+
+    def encode(self, h0: Tensor, view: Optional[GraphView] = None) -> Tensor:
+        topo = None if view is None else self._view_topology(view)
         h = h0
         alpha = None
         for index, layer in enumerate(self.layers):
-            h, alpha = layer(self.dropout(h), alpha)
+            h, alpha = layer(self.dropout(h), alpha, topo)
             if index < self.num_layers - 1:
                 h = elu(h)
         if self.normalize_output:

@@ -59,12 +59,19 @@ class EngineConfig:
     max_batch_size: int = 64
     cache_size: int = 4096
     auto_flush: bool = True
+    #: per-relation fan-out for onboarding forwards: when set (and the
+    #: bundled backbone supports sampling) a new node's prediction is
+    #: computed on its sampled neighborhood view instead of a full pass
+    #: over the updated graph — the O(neighborhood) onboarding path
+    onboard_fanout: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if self.cache_size <= 0:
             raise ValueError("cache_size must be positive")
+        if self.onboard_fanout is not None and self.onboard_fanout <= 0:
+            raise ValueError("onboard_fanout must be positive when set")
 
 
 class InferenceEngine:
@@ -255,7 +262,8 @@ class InferenceEngine:
         with self._lock:
             if self._onboarding is None:
                 self._onboarding = OnboardingManager(
-                    self.bundle, self.dataset, self._h0)
+                    self.bundle, self.dataset, self._h0,
+                    fanout=self.config.onboard_fanout)
             return self._onboarding.onboard(node_type, edges,
                                             raw_features=raw_features)
 

@@ -32,6 +32,7 @@ import numpy as np
 from ..completion import build_op
 from ..datasets import HeteroDataset
 from ..graph import Relation
+from ..graph.sampler import NeighborSampler
 from ..models import build_model
 from ..tensor import Tensor, no_grad
 from .artifact import ModelBundle
@@ -86,9 +87,14 @@ class OnboardingManager:
     """Owns the mutable serving-side graph and the onboarded-node overlay."""
 
     def __init__(self, bundle: ModelBundle, base_dataset: HeteroDataset,
-                 base_h0: np.ndarray) -> None:
+                 base_h0: np.ndarray,
+                 fanout: Optional[int] = None) -> None:
         self.bundle = bundle
         self.base = base_dataset
+        #: when set (and the backbone supports sampling), the onboarding
+        #: forward runs on a sampled neighborhood view around the new node
+        #: instead of the whole updated graph
+        self._fanout = fanout
         self._dataset: Optional[HeteroDataset] = None  # mutable copy, lazy
         self._h0 = np.asarray(base_h0).copy()
         self._results: Dict[Tuple[str, int], OnboardResult] = {}
@@ -261,19 +267,41 @@ class OnboardingManager:
 
             model = self._updated_model(dataset)
             logits_row = prediction = label = embedding = None
+            sampled = (self._fanout is not None
+                       and getattr(model, "supports_sampling", False))
             with no_grad():
-                encoded = model.encode(Tensor(h0_updated))
-                if getattr(model, "full_graph", False):
-                    target_ids = graph.global_ids(dataset.target_type)
-                    logits = model.classifier(encoded[target_ids])
-                    embedding = np.asarray(encoded.data[gid]).copy()
-                else:
-                    logits = model.classifier(encoded)
+                if sampled:
+                    # /predict on a fresh node touches only its sampled
+                    # neighborhood: one bounded view forward, not a pass
+                    # over the whole updated graph.  Seeded by the node's
+                    # global id so a retried onboard is deterministic.
+                    sampler = NeighborSampler(
+                        graph, fanout=self._fanout,
+                        num_layers=getattr(model, "num_layers", 2),
+                        seed=int(gid))
+                    view = sampler.sample(np.array([gid], dtype=np.int64))
+                    encoded = model.encode(
+                        Tensor(h0_updated[view.node_ids]), view=view)
+                    embedding = np.asarray(encoded.data[0]).copy()
                     if node_type == dataset.target_type:
-                        embedding = np.asarray(
-                            encoded.data[new_local]).copy()
-            if node_type == dataset.target_type:
-                logits_row = np.asarray(logits.data[new_local]).copy()
+                        logits_row = np.asarray(
+                            model.classifier(
+                                encoded[view.seed_local]).data[0]).copy()
+                else:
+                    encoded = model.encode(Tensor(h0_updated))
+                    if getattr(model, "full_graph", False):
+                        target_ids = graph.global_ids(dataset.target_type)
+                        logits = model.classifier(encoded[target_ids])
+                        embedding = np.asarray(encoded.data[gid]).copy()
+                    else:
+                        logits = model.classifier(encoded)
+                        if node_type == dataset.target_type:
+                            embedding = np.asarray(
+                                encoded.data[new_local]).copy()
+                    if node_type == dataset.target_type:
+                        logits_row = np.asarray(
+                            logits.data[new_local]).copy()
+            if logits_row is not None:
                 prediction = int(np.argmax(logits_row))
                 label = self.bundle.label_names[prediction]
         except Exception:

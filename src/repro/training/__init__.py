@@ -16,6 +16,7 @@ from .metrics import (
     micro_f1,
     roc_auc,
 )
+from .minibatch import MiniBatchConfig, MiniBatchTrainer
 from .seed import set_seed
 from .trainer import (
     NodeClassificationTrainer,
@@ -36,6 +37,8 @@ __all__ = [
     "TrainConfig",
     "TrainResult",
     "NodeClassificationTrainer",
+    "MiniBatchConfig",
+    "MiniBatchTrainer",
     "run_repeats",
     "LinkSplit",
     "LinkPredictionTask",

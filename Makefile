@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke bench-scale profile
+.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke profile
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -26,6 +26,13 @@ bench-smoke:
 bench-scale:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
 		test_minibatch_scale.py
+
+# Autotune guard: a tiny ASHA search on the synthetic tune spec vs the
+# sequential and one-shot baselines; leaves the trial journal behind as
+# TUNE_journal.jsonl (see docs/TUNING.md).
+tune-smoke:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
+		test_autotune_speedup.py
 
 # Per-op profiler table for a small search run (see docs/PERFORMANCE.md).
 profile:

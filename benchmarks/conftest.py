@@ -32,6 +32,22 @@ def scale() -> str:
     return SCALE
 
 
+#: autotune benchmark graph size per scale (nodes of tune_benchmark_spec)
+TUNE_BENCH_NODES = {"tiny": 900, "small": 1500, "medium": 2500, "paper": 4000}
+
+#: the trial journal the autotune benchmark leaves behind (CI uploads it)
+TUNE_JOURNAL_PATH = BENCH_PATH.parent / "TUNE_journal.jsonl"
+
+
+@pytest.fixture(scope="session")
+def tune_spec():
+    """The autotune speedup benchmark's synthetic schema, sized by scale."""
+    from repro.datasets import tune_benchmark_spec
+
+    return tune_benchmark_spec(
+        num_nodes=TUNE_BENCH_NODES.get(SCALE, TUNE_BENCH_NODES["tiny"]))
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment driver exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

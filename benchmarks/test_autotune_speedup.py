@@ -1,0 +1,182 @@
+"""Autotune guard — ASHA on the trial scheduler vs the baselines.
+
+Not a paper table: this benchmark guards ``repro.autotune``.  On the
+synthetic ``tune_benchmark_spec`` graph (papers attributed, authors V⁻)
+it runs three searches over the completion-op space:
+
+* **darts**    — the paper's one-shot bi-level search, as a strategy;
+* **random**   — sequential full-budget random search (the trial-based
+  baseline ASHA must beat on cost);
+* **asha**     — successive halving with 4 workers and a trial journal.
+
+Asserted floors: ASHA spends **≥ 2× less wall-clock** than sequential
+full-budget random search (measured ~2.8× on a 1-core container — the
+margin comes from early-stopping weak trials at low rungs, so it holds
+with or without real CPU parallelism) while its winner's retrained
+macro-F1 lands **within noise of (or above) the one-shot DARTS
+baseline**.  A second test simulates a mid-run kill: the journal is cut
+back to a prefix (plus a torn line, exactly what SIGKILL during a write
+leaves) and a fresh scheduler resumed from it must reproduce the
+*identical* leaderboard while re-executing only the missing trials.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.autotune import DatasetRef, TrialScheduler, TuneTask, build_strategy
+from repro.core import AutoACConfig
+from repro.training import TrainConfig
+
+from conftest import TUNE_JOURNAL_PATH, run_once
+
+#: retrained macro-F1 headroom vs the one-shot baseline ("within noise"):
+#: seeds are fixed so runs are deterministic; the observed gap is ~0.02
+#: in ASHA's favour, and single-seed noise on this spec is ~0.03
+NOISE_MARGIN = 0.05
+
+MODEL = "gcn"
+HIDDEN = 32
+NUM_SLOTS = 6
+NUM_TRIALS = 10
+FULL_BUDGET = 60      #: retrain epochs of one full-budget trial
+MIN_BUDGET = 7        #: ASHA first-rung epochs
+ETA = 3
+WORKERS = 4
+SEARCH_EPOCHS = 20    #: bi-level epochs of the one-shot baseline
+
+
+def _task(spec) -> TuneTask:
+    search_config = AutoACConfig(
+        hidden_dim=HIDDEN, out_dim=HIDDEN, num_clusters=NUM_SLOTS,
+        search_epochs=SEARCH_EPOCHS, patience=SEARCH_EPOCHS,
+        warmup_epochs=2,
+        retrain=TrainConfig(epochs=FULL_BUDGET,
+                            patience=max(FULL_BUDGET // 4, 5)))
+    return TuneTask(dataset=DatasetRef.from_spec(spec, seed=0),
+                    model_name=MODEL, hidden_dim=HIDDEN, out_dim=HIDDEN,
+                    num_slots=NUM_SLOTS, max_budget=FULL_BUDGET,
+                    search_config=search_config)
+
+
+def _asha_strategy(task: TuneTask, seed: int = 0):
+    return build_strategy("asha", num_slots=task.num_slots,
+                          num_ops=task.num_ops, max_budget=task.max_budget,
+                          seed=seed, num_trials=NUM_TRIALS,
+                          min_budget=MIN_BUDGET, eta=ETA)
+
+
+def _run(task: TuneTask, strategy, workers: int = 0, journal=None,
+         resume: bool = False):
+    scheduler = TrialScheduler(task, strategy, workers=workers,
+                               journal=journal, resume=resume)
+    start = time.perf_counter()
+    report = scheduler.run()
+    return report, time.perf_counter() - start
+
+
+def drive(spec) -> dict:
+    task = _task(spec)
+
+    darts = build_strategy("darts", num_slots=task.num_slots,
+                           num_ops=task.num_ops, max_budget=task.max_budget,
+                           seed=0)
+    darts_report, darts_seconds = _run(task, darts)
+
+    random = build_strategy("random", num_slots=task.num_slots,
+                            num_ops=task.num_ops, max_budget=task.max_budget,
+                            seed=0, num_trials=NUM_TRIALS)
+    random_report, random_seconds = _run(task, random, workers=0)
+
+    asha_report, asha_seconds = _run(task, _asha_strategy(task),
+                                     workers=WORKERS,
+                                     journal=TUNE_JOURNAL_PATH)
+
+    return {
+        "num_nodes": sum(spec.node_counts.values()),
+        "darts_seconds": darts_seconds,
+        "darts_macro_f1": darts_report.best.macro_f1,
+        "random_seconds": random_seconds,
+        "random_macro_f1": random_report.best.macro_f1,
+        "random_epochs": sum(r.budget_used for r in random_report.results),
+        "asha_seconds": asha_seconds,
+        "asha_macro_f1": asha_report.best.macro_f1,
+        "asha_epochs": sum(r.budget_used for r in asha_report.results),
+        "asha_trials": len(asha_report.results),
+        "speedup": random_seconds / asha_seconds,
+        "asha_leaderboard": [(r.trial_id, r.score)
+                             for r in asha_report.leaderboard()],
+    }
+
+
+def test_autotune_speedup(benchmark, record_benchmark, tune_spec):
+    result = run_once(benchmark, drive, tune_spec)
+    print()
+    print(f"nodes={result['num_nodes']}  trials={NUM_TRIALS}  "
+          f"budget={FULL_BUDGET}ep")
+    print(f"darts  {result['darts_seconds']:6.2f}s  "
+          f"macro-F1 {result['darts_macro_f1']:.4f}")
+    print(f"random {result['random_seconds']:6.2f}s  "
+          f"macro-F1 {result['random_macro_f1']:.4f}  "
+          f"({result['random_epochs']} epochs, sequential)")
+    print(f"asha   {result['asha_seconds']:6.2f}s  "
+          f"macro-F1 {result['asha_macro_f1']:.4f}  "
+          f"({result['asha_epochs']} epochs, {WORKERS} workers)")
+    print(f"speedup {result['speedup']:.2f}x  journal {TUNE_JOURNAL_PATH}")
+
+    record_benchmark("tune_speedup", result["speedup"], "x")
+    record_benchmark("tune_asha_seconds", result["asha_seconds"], "s")
+    record_benchmark("tune_random_seconds", result["random_seconds"], "s")
+    record_benchmark("tune_asha_macro_f1", result["asha_macro_f1"], "f1")
+    record_benchmark("tune_darts_macro_f1", result["darts_macro_f1"], "f1")
+
+    # the journal artifact the CI job uploads must exist and be non-trivial
+    assert TUNE_JOURNAL_PATH.exists()
+    assert result["asha_trials"] >= NUM_TRIALS
+
+    # quality: ASHA's retrained winner within noise of (or above) one-shot
+    assert result["asha_macro_f1"] >= result["darts_macro_f1"] - NOISE_MARGIN, (
+        f"ASHA winner macro-F1 {result['asha_macro_f1']:.4f} fell more than "
+        f"{NOISE_MARGIN} below the one-shot DARTS baseline "
+        f"{result['darts_macro_f1']:.4f}")
+    # cost: early stopping (plus workers) buys at least 2x wall-clock
+    assert result["speedup"] >= 2.0, (
+        f"ASHA only {result['speedup']:.2f}x faster than sequential "
+        f"full-budget random search")
+
+
+def test_resume_after_kill_reproduces_leaderboard(tmp_path, tune_spec):
+    """Journal prefix + torn line (what SIGKILL leaves) → identical board."""
+    task = _task(tune_spec)
+    journal = tmp_path / "tune_journal.jsonl"
+
+    full_report, _ = _run(task, _asha_strategy(task), workers=0,
+                          journal=journal)
+    reference = [(r.trial_id, r.score, r.budget_used)
+                 for r in full_report.leaderboard()]
+    total = len(full_report.results)
+
+    # simulate the kill: keep header + the first half of the trial lines,
+    # with a torn final line from the interrupted write
+    lines = journal.read_text().splitlines()
+    keep = 1 + total // 2
+    torn = tmp_path / "torn.jsonl"
+    torn.write_text("\n".join(lines[:keep]) + "\n"
+                    + '{"kind": "trial", "trial": {"trial_id"')
+
+    resumed_report, _ = _run(task, _asha_strategy(task), workers=0,
+                             journal=torn, resume=True)
+    resumed = [(r.trial_id, r.score, r.budget_used)
+               for r in resumed_report.leaderboard()]
+
+    assert resumed_report.stats.replayed == keep - 1
+    assert resumed_report.stats.executed == total - (keep - 1)
+    assert resumed == reference, "resumed leaderboard differs from original"
+
+    # the journal now holds every trial; resuming again replays everything
+    final_report, _ = _run(task, _asha_strategy(task), workers=0,
+                           journal=torn, resume=True)
+    assert final_report.stats.executed == 0
+    assert final_report.stats.replayed == total
+    assert [(r.trial_id, r.score, r.budget_used)
+            for r in final_report.leaderboard()] == reference

@@ -16,6 +16,8 @@ numpy/scipy:
 * :mod:`repro.serving`     — model bundles, batched inference, onboarding
 * :mod:`repro.perf`        — runtime profiles (float32 fast mode, fused
   kernels) and the op-level profiler
+* :mod:`repro.autotune`    — trial-based search strategies (random,
+  evolution, ASHA, one-shot) on a parallel, resumable trial scheduler
 
 Quickstart::
 
@@ -30,6 +32,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from . import (  # noqa: F401
+    autotune,
     baselines,
     completion,
     core,
@@ -56,4 +59,5 @@ __all__ = [
     "experiments",
     "serving",
     "perf",
+    "autotune",
 ]

@@ -1,0 +1,76 @@
+"""``repro.autotune`` — trial-based architecture search on a scheduler.
+
+AutoAC's paper fixes one search algorithm (the one-shot differentiable
+bi-level relaxation); this subsystem treats "find a good completion
+architecture" as a population of **trials** run by pluggable
+**strategies** — random search, regularized evolution, successive
+halving (ASHA), grid sweeps, and the one-shot searcher itself — executed
+by a parallel, journal-checkpointed, exactly-resumable
+:class:`TrialScheduler` whose winner exports straight to a servable
+:class:`~repro.serving.ModelBundle`.
+
+Quickstart::
+
+    from repro.autotune import (DatasetRef, TuneTask, TrialScheduler,
+                                build_strategy)
+
+    task = TuneTask(DatasetRef("imdb", "tiny"), model_name="simple_hgn",
+                    num_slots=8, max_budget=40)
+    strategy = build_strategy("asha", num_slots=task.num_slots,
+                              num_ops=task.num_ops,
+                              max_budget=task.max_budget, seed=0,
+                              num_trials=8)
+    report = TrialScheduler(task, strategy, workers=4,
+                            journal="tune.jsonl").run()
+    print(report.best.score, report.leaderboard(3))
+
+See ``docs/TUNING.md`` for the strategy API, budget/rung semantics,
+resume guarantees and parallelism caveats.
+"""
+
+from .export import best_assignment, export_best
+from .journal import JOURNAL_FORMAT_VERSION, TrialJournal, validate_fingerprint
+from .scheduler import TrialScheduler, TuneReport, TuneStats
+from .strategies import (
+    STRATEGY_REGISTRY,
+    GridSearch,
+    OneShotDARTS,
+    RandomSearch,
+    RegularizedEvolution,
+    Strategy,
+    SuccessiveHalving,
+    available_strategies,
+    build_strategy,
+    register_strategy,
+)
+from .task import DatasetRef, TuneTask, slot_labels
+from .trial import Trial, TrialResult, leaderboard_key
+from .worker import execute_trial
+
+__all__ = [
+    "Trial",
+    "TrialResult",
+    "leaderboard_key",
+    "DatasetRef",
+    "TuneTask",
+    "slot_labels",
+    "Strategy",
+    "RandomSearch",
+    "RegularizedEvolution",
+    "SuccessiveHalving",
+    "OneShotDARTS",
+    "GridSearch",
+    "STRATEGY_REGISTRY",
+    "register_strategy",
+    "available_strategies",
+    "build_strategy",
+    "TrialScheduler",
+    "TuneReport",
+    "TuneStats",
+    "TrialJournal",
+    "JOURNAL_FORMAT_VERSION",
+    "validate_fingerprint",
+    "execute_trial",
+    "best_assignment",
+    "export_best",
+]

@@ -1,0 +1,97 @@
+"""Leaderboard winner → servable :class:`~repro.serving.ModelBundle`.
+
+The tuning loop scores candidates on validation macro-F1; exporting
+re-trains the winner at full budget **with the trial's own seed** and
+freezes the result into the same versioned bundle `repro export` writes —
+so a tuned architecture flows straight into the serving engine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core import evaluate_architecture
+from ..datasets import HeteroDataset
+from ..serving import DatasetSpec, ModelBundle, build_bundle
+from .scheduler import TuneReport
+from .task import slot_labels
+from .trial import TrialResult
+
+
+def best_assignment(report: TuneReport,
+                    dataset: HeteroDataset,
+                    result: Optional[TrialResult] = None) -> np.ndarray:
+    """Per-V⁻-node op assignment of a leaderboard entry (default: winner)."""
+    result = result if result is not None else report.best
+    if result.ops is not None:
+        labels = slot_labels(dataset, report.task.num_slots)
+        return np.asarray(result.ops, dtype=np.int64)[labels]
+    if result.assignment is not None:
+        return np.asarray(result.assignment, dtype=np.int64)
+    raise ValueError(f"trial {result.trial_id} recorded neither a slot "
+                     f"op-vector nor a per-node assignment")
+
+
+def export_best(report: TuneReport, path=None,
+                dataset: Optional[HeteroDataset] = None,
+                budget: Optional[int] = None) -> ModelBundle:
+    """Retrain the leaderboard winner at full budget and bundle it.
+
+    ``dataset`` may be passed to skip regeneration (required later for
+    ``ModelBundle.instantiate`` when the task used an inline generator
+    spec, since such specs are not in the dataset registry).  ``budget``
+    defaults to the task's ``max_budget``.  When ``path`` is given the
+    bundle is saved there too.
+    """
+    task = report.task
+    best = report.best
+    dataset = dataset if dataset is not None else task.dataset.build()
+    assignment = best_assignment(report, dataset, best)
+
+    # one-shot (darts/grid) trials were scored under the search config's
+    # dimensions/kwargs/retrain settings (see TuneTask); the export must
+    # rebuild the same shape of model the leaderboard actually ranked
+    hidden_dim, out_dim = task.hidden_dim, task.out_dim
+    model_kwargs = dict(task.model_kwargs)
+    train_config = (task.search_config.retrain
+                    if task.search_config is not None else None)
+    if best.ops is None and task.search_config is not None:
+        hidden_dim = task.search_config.hidden_dim
+        out_dim = task.search_config.out_dim
+        model_kwargs = dict(task.search_config.model_kwargs)
+
+    evaluation = evaluate_architecture(
+        dataset, assignment, task.model_name,
+        budget=budget if budget is not None else task.max_budget,
+        hidden_dim=hidden_dim, out_dim=out_dim,
+        space=task.space(), seed=best.seed, keep_artifacts=True,
+        train_config=train_config, **model_kwargs)
+
+    ref = task.dataset
+    spec = DatasetSpec(name=ref.name, scale=ref.scale, seed=ref.seed)
+    meta = {"tuned_by": report.strategy_fingerprint.get("strategy"),
+            "trial_id": best.trial_id,
+            "trial_score": best.score,
+            "trial_budget_used": best.budget_used,
+            "export_epochs_run": evaluation.epochs_run}
+    if ref.spec is not None:
+        # inline generator spec: the bundle's dataset can't be rebuilt
+        # from the registry — record the spec so consumers can
+        meta["generator_spec"] = ref.fingerprint()["spec"]
+    bundle = build_bundle(
+        dataset, spec, task.model_name,
+        evaluation.artifacts.model, evaluation.artifacts.features,
+        hidden_dim=hidden_dim, out_dim=out_dim,
+        model_kwargs=model_kwargs,
+        metrics={"macro_f1": evaluation.macro_f1,
+                 "micro_f1": evaluation.micro_f1,
+                 "val_macro_f1": evaluation.val_macro_f1},
+        meta=meta)
+    if path is not None:
+        bundle.save(path)
+    return bundle
+
+
+__all__ = ["best_assignment", "export_best"]

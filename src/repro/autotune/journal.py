@@ -1,0 +1,140 @@
+"""JSON-lines trial journal — the scheduler's crash-safe checkpoint.
+
+Line 1 is a header fingerprinting the whole run (task + strategy + seed +
+format version); every following line is one completed trial with its
+result.  Lines are flushed and fsync'd as they are written, so a
+scheduler killed at any instant leaves a valid prefix: at worst the last
+line is truncated, and :meth:`TrialJournal.read` drops it.  On
+``resume=True`` the scheduler replays the journal — completed trials are
+*told* straight back to the strategy without re-executing, which restarts
+the search exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: bump when the journal line layout changes incompatibly
+JOURNAL_FORMAT_VERSION = 1
+
+
+class TrialJournal:
+    """Append-only JSONL writer/reader for one tuning run."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def open(self, fingerprint: Dict[str, Any], append: bool = False) -> None:
+        """Start (or continue) the journal file.
+
+        ``append=False`` truncates and writes a fresh header;
+        ``append=True`` (the resume path) keeps existing lines and writes
+        nothing — the header is already on disk and validated.  A kill
+        mid-write leaves a torn final line with no newline; appending
+        straight after it would corrupt the *next* record too, so the
+        tear is sealed with a newline first (the torn fragment then reads
+        as one ignorable line).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        seal_torn_tail = False
+        if append and self.path.exists():
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    seal_torn_tail = handle.read(1) != b"\n"
+        mode = "a" if append else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if seal_torn_tail:
+            self._handle.write("\n")
+            self._handle.flush()
+        if not append:
+            self._write_line({"kind": "header",
+                              "format_version": JOURNAL_FORMAT_VERSION,
+                              "fingerprint": fingerprint})
+
+    def append_trial(self, trial_dict: Dict[str, Any],
+                     result_dict: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ValueError("journal is not open")
+        self._write_line({"kind": "trial", "trial": trial_dict,
+                          "result": result_dict})
+
+    def _write_line(self, payload: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @classmethod
+    def read(cls, path) -> Tuple[Optional[Dict[str, Any]],
+                                 List[Dict[str, Any]]]:
+        """Parse ``(header, trial_entries)``; tolerates a torn last line.
+
+        A missing file reads as ``(None, [])``.  Any unparsable or
+        non-trial line *after* the header is ignored (a kill mid-write
+        tears at most the final line), but a malformed header raises —
+        resuming from a journal whose identity can't be checked would
+        silently mix runs.
+        """
+        path = Path(path)
+        if not path.exists():
+            return None, []
+        header: Optional[Dict[str, Any]] = None
+        entries: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    if index == 0:
+                        raise ValueError(
+                            f"{path} is not a trial journal "
+                            f"(unparsable header line)")
+                    continue  # torn tail line from a kill mid-write
+                if index == 0:
+                    if payload.get("kind") != "header":
+                        raise ValueError(
+                            f"{path} is not a trial journal "
+                            f"(first line kind={payload.get('kind')!r})")
+                    version = payload.get("format_version")
+                    if version != JOURNAL_FORMAT_VERSION:
+                        raise ValueError(
+                            f"{path} has journal format {version!r}; "
+                            f"this build reads {JOURNAL_FORMAT_VERSION}")
+                    header = payload
+                elif payload.get("kind") == "trial":
+                    entries.append(payload)
+        return header, entries
+
+
+def validate_fingerprint(header: Dict[str, Any],
+                         fingerprint: Dict[str, Any], path) -> None:
+    """Refuse to resume a journal written by a different run setup."""
+    recorded = header.get("fingerprint")
+    if recorded != fingerprint:
+        raise ValueError(
+            f"cannot resume from {path}: the journal was written by a "
+            f"different run (task/strategy/seed fingerprint mismatch).\n"
+            f"  journal:  {json.dumps(recorded, sort_keys=True)[:400]}\n"
+            f"  current:  {json.dumps(fingerprint, sort_keys=True)[:400]}")
+
+
+__all__ = ["JOURNAL_FORMAT_VERSION", "TrialJournal", "validate_fingerprint"]

@@ -1,0 +1,229 @@
+"""The parallel, resumable trial scheduler.
+
+Drives a :class:`~repro.autotune.Strategy` through ask/tell rounds:
+
+* each asked batch is executed by :func:`~repro.autotune.worker.
+  execute_trial` — inline for ``workers <= 1``, on a persistent
+  ``multiprocessing`` pool otherwise (fork where available, spawn-safe
+  either way because trials carry pre-derived seeds);
+* results are told back **in trial-id order**, so the strategy's decision
+  stream — and therefore the leaderboard — is identical no matter how
+  many workers ran or which finished first;
+* every completed trial is appended to a JSON-lines
+  :class:`~repro.autotune.TrialJournal` (flushed + fsync'd), and
+  ``resume=True`` replays the journal instead of re-running its trials:
+  a scheduler killed mid-run restarts exactly where it left off and
+  reproduces the identical leaderboard.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .journal import TrialJournal, validate_fingerprint
+from .strategies import Strategy
+from .task import TuneTask
+from .trial import Trial, TrialResult, leaderboard_key
+from .worker import execute_trial
+
+
+@dataclass
+class TuneStats:
+    """Execution accounting — the resume tests assert on these."""
+
+    executed: int = 0   #: trials actually run this session
+    replayed: int = 0   #: trials served from the journal
+    failed: int = 0     #: trials that returned a failed result
+    batches: int = 0    #: ask/tell rounds driven
+
+
+@dataclass
+class TuneReport:
+    """Outcome of one scheduler run: every result plus the accounting."""
+
+    results: List[TrialResult]
+    stats: TuneStats
+    task: TuneTask
+    strategy_fingerprint: Dict[str, Any] = field(default_factory=dict)
+    journal_path: Optional[str] = None
+
+    def leaderboard(self, k: Optional[int] = None) -> List[TrialResult]:
+        """Completed trials, best score first (deterministic tie-break)."""
+        ranked = sorted((r for r in self.results if not r.failed),
+                        key=leaderboard_key)
+        return ranked if k is None else ranked[:k]
+
+    @property
+    def best(self) -> TrialResult:
+        ranked = self.leaderboard(1)
+        if not ranked:
+            raise ValueError("no completed trials — nothing to export")
+        return ranked[0]
+
+
+def _normalize(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON round-trip so in-memory and journaled values compare equal."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+class TrialScheduler:
+    """Runs one strategy over one task; see the module docstring."""
+
+    def __init__(self, task: TuneTask, strategy: Strategy,
+                 workers: int = 0, journal: Optional[str] = None,
+                 resume: bool = False,
+                 mp_context: Optional[str] = None) -> None:
+        self.task = task
+        self.strategy = strategy
+        self.workers = max(0, int(workers))
+        self.journal_path = journal
+        self.resume = bool(resume)
+        if mp_context is None:
+            mp_context = ("fork" if "fork" in
+                          multiprocessing.get_all_start_methods()
+                          else "spawn")
+        self.mp_context = mp_context
+        self.stats = TuneStats()
+        self._pool_broken = False
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> Dict[str, Any]:
+        return _normalize({"task": self.task.fingerprint(),
+                           "strategy": self.strategy.fingerprint()})
+
+    # ------------------------------------------------------------------
+    def _load_replay(self) -> Dict[int, Dict[str, Any]]:
+        """Journal entries keyed by trial id (empty without resume)."""
+        if not (self.journal_path and self.resume):
+            return {}
+        header, entries = TrialJournal.read(self.journal_path)
+        if header is None:
+            return {}
+        validate_fingerprint(header, self.fingerprint(), self.journal_path)
+        return {int(entry["trial"]["trial_id"]): entry for entry in entries}
+
+    def _replayed_result(self, trial: Trial,
+                         entry: Dict[str, Any]) -> TrialResult:
+        """Validate one journal entry against the re-asked trial."""
+        recorded = {key: entry["trial"].get(key)
+                    for key in ("trial_id", "budget", "seed", "ops",
+                                "rung", "params")}
+        expected = _normalize(trial.fingerprint())
+        if _normalize(recorded) != expected:
+            raise ValueError(
+                f"journal replay mismatch for trial {trial.trial_id}: the "
+                f"strategy re-asked a different trial than the journal "
+                f"recorded (did the code or config change?)\n"
+                f"  journal: {json.dumps(recorded, sort_keys=True)[:300]}\n"
+                f"  asked:   {json.dumps(expected, sort_keys=True)[:300]}")
+        return TrialResult.from_dict(entry["result"])
+
+    # ------------------------------------------------------------------
+    def _execute_batch(self, pool: Optional[ProcessPoolExecutor],
+                       pending: List[Trial],
+                       journal: Optional[TrialJournal]) -> Dict[int,
+                                                                TrialResult]:
+        """Run the pending trials, journaling each one *as it finishes*.
+
+        Journaling per completion (not per batch) is what makes a kill
+        mid-batch cheap to resume from: every already-finished trial of
+        the interrupted batch is on disk.  Journal line order may differ
+        from trial-id order under parallel workers; replay is keyed by
+        trial id, so resume does not care.
+        """
+        if not pending:
+            return {}
+        payloads: Dict[int, Dict] = {}
+
+        def record(trial: Trial, payload: Dict) -> None:
+            payloads[int(payload["trial_id"])] = payload
+            # worker deaths are transient infrastructure failures, not
+            # evaluation outcomes — keep them out of the journal so a
+            # resume re-executes them instead of replaying the failure
+            if journal is not None and payload.get("status") != "worker_died":
+                journal.append_trial(trial.to_dict(), payload)
+
+        if pool is None:
+            for trial in pending:
+                record(trial, execute_trial(self.task, trial))
+        else:
+            futures = {pool.submit(execute_trial, self.task, trial): trial
+                       for trial in pending}
+            for future in as_completed(futures):
+                trial = futures[future]
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001
+                    # execute_trial catches in-process errors itself, so
+                    # reaching here means the worker *process* died (OOM
+                    # kill, segfault) and the pool is broken — record a
+                    # failed trial and let run() rebuild the pool, instead
+                    # of aborting the whole search
+                    self._pool_broken = True
+                    payload = {
+                        "trial_id": int(trial.trial_id), "score": None,
+                        "seed": int(trial.seed), "rung": int(trial.rung),
+                        "ops": trial.ops, "status": "worker_died",
+                        "error": (f"worker process died: "
+                                  f"{type(exc).__name__}: {exc}"),
+                    }
+                record(trial, payload)
+        return {trial_id: TrialResult.from_dict(payload)
+                for trial_id, payload in payloads.items()}
+
+    # ------------------------------------------------------------------
+    def run(self) -> TuneReport:
+        replay = self._load_replay()
+        journal = None
+        if self.journal_path:
+            journal = TrialJournal(self.journal_path)
+            journal.open(self.fingerprint(), append=bool(replay))
+
+        pool: Optional[ProcessPoolExecutor] = None
+        results: List[TrialResult] = []
+        try:
+            while True:
+                batch = self.strategy.ask()
+                if not batch:
+                    break
+                self.stats.batches += 1
+                pending = [t for t in batch if t.trial_id not in replay]
+                if pending and pool is None and self.workers > 1:
+                    pool = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        mp_context=multiprocessing.get_context(
+                            self.mp_context))
+                fresh = self._execute_batch(pool, pending, journal)
+                if self._pool_broken and pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = None  # lazily rebuilt for the next batch
+                    self._pool_broken = False
+                for trial in sorted(batch, key=lambda t: t.trial_id):
+                    if trial.trial_id in replay:
+                        result = self._replayed_result(
+                            trial, replay[trial.trial_id])
+                        self.stats.replayed += 1
+                    else:
+                        result = fresh[trial.trial_id]
+                        self.stats.executed += 1
+                    if result.failed:
+                        self.stats.failed += 1
+                    self.strategy.tell(trial, result)
+                    results.append(result)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            if journal is not None:
+                journal.close()
+
+        return TuneReport(results=results, stats=self.stats, task=self.task,
+                          strategy_fingerprint=self.strategy.fingerprint(),
+                          journal_path=(str(self.journal_path)
+                                        if self.journal_path else None))
+
+
+__all__ = ["TrialScheduler", "TuneReport", "TuneStats"]

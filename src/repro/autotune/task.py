@@ -1,0 +1,139 @@
+"""The tuning task: everything a worker needs to evaluate one trial.
+
+A :class:`TuneTask` must cross a ``multiprocessing`` pipe (picklable) and
+leave a faithful fingerprint in the journal header (JSON-able), so it is
+built from declarative pieces only: a :class:`DatasetRef` that *names* a
+dataset instead of carrying its arrays, plain dimensions, and (for
+one-shot trials) an :class:`~repro.core.AutoACConfig`.
+
+Trial-based strategies search over *slots*, not individual V⁻ nodes —
+the same coarsening the paper applies through its learned clustering
+(§IV-C: nodes in one cluster share one completion op).  Since trials
+propose assignments up front, the slot map must exist before any
+training happens: :func:`slot_labels` buckets V⁻ nodes by node type and
+degree, deterministically, so a slot groups structurally similar nodes
+(high-degree nodes favour aggregation ops, isolated ones favour one-hot
+— the generator's "guest node" story).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..completion import SearchSpace
+from ..core import AutoACConfig
+from ..datasets import HeteroDataset, generate, get_dataset
+from ..datasets.generator import SchemaSpec
+
+
+@dataclass(frozen=True)
+class DatasetRef:
+    """A regenerable pointer to a dataset (never the arrays themselves).
+
+    Either a registry name + scale (``DatasetRef("imdb", "tiny")``) or an
+    inline generator :class:`SchemaSpec` (``DatasetRef.from_spec(spec)``)
+    — both rebuild bit-identical datasets in any process, which is what
+    makes spawn-mode workers and journal resumes exact.
+    """
+
+    name: str = "imdb"
+    scale: str = "tiny"
+    seed: int = 0
+    spec: Optional[SchemaSpec] = None
+
+    @classmethod
+    def from_spec(cls, spec: SchemaSpec, seed: int = 0) -> "DatasetRef":
+        return cls(name=spec.name, scale="spec", seed=seed, spec=spec)
+
+    def build(self) -> HeteroDataset:
+        if self.spec is not None:
+            return generate(self.spec, seed=self.seed)
+        return get_dataset(self.name, scale=self.scale, seed=self.seed)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "scale": self.scale,
+                               "seed": self.seed}
+        if self.spec is not None:
+            out["spec"] = dataclasses.asdict(self.spec)
+        return out
+
+
+def slot_labels(dataset: HeteroDataset, num_slots: int) -> np.ndarray:
+    """Deterministic V⁻ node → slot map (the trial search granularity).
+
+    V⁻ nodes are ordered by ``(node type, total degree, global id)`` and
+    cut into ``num_slots`` contiguous, equally-sized buckets.  Pure
+    arithmetic on the graph — no RNG, no training — so every process
+    derives the identical map and journaled op-vectors stay meaningful
+    across resumes.
+    """
+    missing = dataset.missing_global_ids
+    if missing.size == 0:
+        raise ValueError("dataset has no missing attributes to tune over")
+    num_slots = min(int(num_slots), missing.size)
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    degrees = dataset.graph.degrees()[missing]
+    types = dataset.graph.node_type_index[missing]
+    order = np.lexsort((missing, degrees, types))
+    labels = np.empty(missing.size, dtype=np.int64)
+    # equal-size contiguous chunks over the sorted order
+    labels[order] = (np.arange(missing.size, dtype=np.int64)
+                     * num_slots) // missing.size
+    return labels
+
+
+@dataclass
+class TuneTask:
+    """Declarative description of one tuning problem.
+
+    ``num_slots`` fixes the op-vector length strategies search over;
+    ``max_budget`` is the full retrain epoch budget (ASHA's top rung,
+    random search's default).  ``search_config`` is consulted only by
+    one-shot trials (``ops=None``) — its ``hidden_dim``/``out_dim``/
+    ``model_kwargs`` then override the task's, mirroring
+    :func:`repro.core.run_autoac`.
+    """
+
+    dataset: DatasetRef
+    model_name: str = "simple_hgn"
+    hidden_dim: int = 64
+    out_dim: int = 64
+    num_slots: int = 8
+    max_budget: int = 40
+    op_names: Optional[Tuple[str, ...]] = None   #: None → the paper's space
+    search_config: Optional[AutoACConfig] = None
+    model_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def space(self) -> SearchSpace:
+        if self.op_names is None:
+            return SearchSpace()
+        return SearchSpace(list(self.op_names))
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.space())
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """JSON-able identity for the journal header (resume validation)."""
+        out: Dict[str, Any] = {
+            "dataset": self.dataset.fingerprint(),
+            "model_name": self.model_name,
+            "hidden_dim": self.hidden_dim,
+            "out_dim": self.out_dim,
+            "num_slots": self.num_slots,
+            "max_budget": self.max_budget,
+            "op_names": (None if self.op_names is None
+                         else list(self.op_names)),
+            "model_kwargs": dict(self.model_kwargs),
+        }
+        if self.search_config is not None:
+            out["search_config"] = dataclasses.asdict(self.search_config)
+        return out
+
+
+__all__ = ["DatasetRef", "TuneTask", "slot_labels"]

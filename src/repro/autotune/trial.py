@@ -1,0 +1,153 @@
+"""Trial and TrialResult — the currency of the autotune subsystem.
+
+A :class:`Trial` is one *proposed* evaluation: an op-vector over the
+tuning slots (or ``None`` for "run the one-shot bi-level search"), an
+epoch budget, and a pre-derived seed.  A :class:`TrialResult` is one
+*completed* evaluation.  Both round-trip losslessly through plain
+JSON-able dicts — that is what the journal persists line by line and
+what worker processes ship back over the multiprocessing pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Trial:
+    """One architecture evaluation a strategy wants executed.
+
+    ``ops`` assigns a completion-op index to each tuning *slot* (the
+    deterministic V⁻ clusters of :func:`repro.autotune.slot_labels`);
+    the worker expands it to per-node choices.  ``ops=None`` marks a
+    one-shot trial: run the DARTS-style bi-level search itself, with
+    optional ``params["overrides"]`` applied to the search config.
+    """
+
+    trial_id: int
+    budget: Optional[int]            #: retrain epoch cap (None → config's)
+    seed: int                        #: pre-derived; seeds the whole trial
+    ops: Optional[List[int]] = None  #: op index per slot; None → one-shot
+    rung: int = 0                    #: ASHA rung index (0 elsewhere)
+    parent_id: Optional[int] = None  #: promotion/mutation lineage
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """What must match on journal replay for a resume to be valid."""
+        return {"trial_id": self.trial_id, "budget": self.budget,
+                "seed": self.seed, "ops": self.ops, "rung": self.rung,
+                "params": self.params}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trial_id": int(self.trial_id),
+            "budget": None if self.budget is None else int(self.budget),
+            "seed": int(self.seed),
+            "ops": None if self.ops is None else [int(o) for o in self.ops],
+            "rung": int(self.rung),
+            "parent_id": (None if self.parent_id is None
+                          else int(self.parent_id)),
+            "params": self.params,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Trial":
+        return cls(
+            trial_id=int(payload["trial_id"]),
+            budget=(None if payload.get("budget") is None
+                    else int(payload["budget"])),
+            seed=int(payload["seed"]),
+            ops=(None if payload.get("ops") is None
+                 else [int(o) for o in payload["ops"]]),
+            rung=int(payload.get("rung", 0)),
+            parent_id=(None if payload.get("parent_id") is None
+                       else int(payload["parent_id"])),
+            params=dict(payload.get("params") or {}),
+        )
+
+
+@dataclass
+class TrialResult:
+    """One finished (or failed) trial, ready for tell/journal/leaderboard.
+
+    ``score`` is the *selection* metric (validation macro-F1); test
+    metrics ride along for reporting only.  Failed trials carry
+    ``score=None`` plus the error text — they are journaled (so resume
+    skips them too) but never enter the leaderboard or a population.
+    """
+
+    trial_id: int
+    score: Optional[float]           #: val macro-F1; None → failed
+    macro_f1: float = 0.0
+    micro_f1: float = 0.0
+    budget_used: int = 0             #: epochs actually consumed
+    seconds: float = 0.0
+    seed: int = 0
+    rung: int = 0
+    ops: Optional[List[int]] = None
+    assignment: Optional[List[int]] = None  #: per-node, one-shot trials only
+    op_distribution: Dict[str, float] = field(default_factory=dict)
+    status: str = "completed"        #: "completed" | "failed"
+    error: Optional[str] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "completed" or self.score is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trial_id": int(self.trial_id),
+            "score": None if self.score is None else float(self.score),
+            "macro_f1": float(self.macro_f1),
+            "micro_f1": float(self.micro_f1),
+            "budget_used": int(self.budget_used),
+            "seconds": float(self.seconds),
+            "seed": int(self.seed),
+            "rung": int(self.rung),
+            "ops": None if self.ops is None else [int(o) for o in self.ops],
+            "assignment": (None if self.assignment is None
+                           else [int(a) for a in self.assignment]),
+            "op_distribution": {k: float(v)
+                                for k, v in self.op_distribution.items()},
+            "status": str(self.status),
+            "error": self.error,
+            "extra": {k: float(v) for k, v in self.extra.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TrialResult":
+        return cls(
+            trial_id=int(payload["trial_id"]),
+            score=(None if payload.get("score") is None
+                   else float(payload["score"])),
+            macro_f1=float(payload.get("macro_f1", 0.0)),
+            micro_f1=float(payload.get("micro_f1", 0.0)),
+            budget_used=int(payload.get("budget_used", 0)),
+            seconds=float(payload.get("seconds", 0.0)),
+            seed=int(payload.get("seed", 0)),
+            rung=int(payload.get("rung", 0)),
+            ops=(None if payload.get("ops") is None
+                 else [int(o) for o in payload["ops"]]),
+            assignment=(None if payload.get("assignment") is None
+                        else [int(a) for a in payload["assignment"]]),
+            op_distribution=dict(payload.get("op_distribution") or {}),
+            status=str(payload.get("status", "completed")),
+            error=payload.get("error"),
+            extra=dict(payload.get("extra") or {}),
+        )
+
+
+def leaderboard_key(result: TrialResult):
+    """Sort key: best score first, trial id breaking exact ties.
+
+    The deterministic tie-break is what lets two schedulers with the same
+    seed — and a killed-then-resumed scheduler — report *identical*
+    leaderboards rather than merely equally-scored ones.
+    """
+    score = -float("inf") if result.score is None else result.score
+    return (-score, result.trial_id)
+
+
+__all__ = ["Trial", "TrialResult", "leaderboard_key"]

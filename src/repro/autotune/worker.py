@@ -1,0 +1,126 @@
+"""The trial execution body — runs inline or inside a worker process.
+
+:func:`execute_trial` is a module-level function of picklable arguments
+(:class:`TuneTask`, :class:`Trial`) returning a plain JSON/npz-able dict,
+so the scheduler can ship it through ``multiprocessing`` under fork *or*
+spawn.  Nothing is inherited from the parent: the dataset is regenerated
+from the task's :class:`DatasetRef` (memoized per process, so a pool
+worker pays the cost once) and every RNG is seeded from the trial's
+pre-derived seed via :func:`repro.training.set_seed`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import traceback
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..core import AutoACConfig, evaluate_architecture
+from ..datasets import HeteroDataset
+from ..training import set_seed
+from .task import TuneTask, slot_labels
+from .trial import Trial
+
+#: per-process dataset memo: fingerprint JSON → (dataset, slot labels)
+_DATASET_CACHE: Dict[str, Tuple[HeteroDataset, np.ndarray]] = {}
+
+
+def _dataset_for(task: TuneTask) -> Tuple[HeteroDataset, np.ndarray]:
+    key = json.dumps({"dataset": task.dataset.fingerprint(),
+                      "num_slots": task.num_slots}, sort_keys=True)
+    cached = _DATASET_CACHE.get(key)
+    if cached is None:
+        dataset = task.dataset.build()
+        cached = (dataset, slot_labels(dataset, task.num_slots))
+        _DATASET_CACHE.clear()  # one live dataset per worker is plenty
+        _DATASET_CACHE[key] = cached
+    return cached
+
+
+def _search_config(task: TuneTask, trial: Trial) -> AutoACConfig:
+    """The one-shot search config with the trial's overrides applied."""
+    base = task.search_config or AutoACConfig(hidden_dim=task.hidden_dim,
+                                              out_dim=task.out_dim,
+                                              model_kwargs=dict(
+                                                  task.model_kwargs))
+    overrides = trial.params.get("overrides") or {}
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+def execute_trial(task: TuneTask, trial: Trial) -> Dict[str, Any]:
+    """Evaluate one trial; never raises — failures become failed results."""
+    try:
+        dataset, labels = _dataset_for(task)
+        set_seed(trial.seed)
+        space = task.space()
+        if trial.ops is None:
+            evaluation = evaluate_architecture(
+                dataset, None, task.model_name, budget=trial.budget,
+                space=space, seed=trial.seed,
+                search_config=_search_config(task, trial))
+        else:
+            ops = np.asarray(trial.ops, dtype=np.int64)
+            # slot_labels caps the slot count at |V⁻|, so a shorter label
+            # range than task.num_slots is fine; the vector must cover it
+            if ops.ndim != 1 or ops.shape[0] <= int(labels.max()):
+                raise ValueError(
+                    f"trial ops must have one entry per slot "
+                    f"({task.num_slots}); got shape {ops.shape}")
+            # train under the same retrain config one-shot trials use
+            # (lr/weight-decay/...; the budget still overrides epochs and
+            # patience) so every strategy's trials are scored on equal
+            # footing within one task
+            base_train = (task.search_config.retrain
+                          if task.search_config is not None else None)
+            evaluation = evaluate_architecture(
+                dataset, ops[labels], task.model_name, budget=trial.budget,
+                hidden_dim=task.hidden_dim, out_dim=task.out_dim,
+                space=space, seed=trial.seed, train_config=base_train,
+                **task.model_kwargs)
+        payload: Dict[str, Any] = {
+            "trial_id": int(trial.trial_id),
+            "score": float(evaluation.val_macro_f1),
+            "macro_f1": float(evaluation.macro_f1),
+            "micro_f1": float(evaluation.micro_f1),
+            "budget_used": int(evaluation.epochs_run),
+            "seconds": float(evaluation.seconds),
+            "seed": int(trial.seed),
+            "rung": int(trial.rung),
+            "ops": trial.ops,
+            "op_distribution": evaluation.op_distribution(),
+            "status": "completed",
+            "error": None,
+            "extra": {},
+        }
+        if trial.ops is None:
+            # one-shot trials discover their assignment during the search;
+            # persist it so export/resume can rebuild the winner
+            payload["assignment"] = [int(a) for a in evaluation.assignment]
+            if evaluation.search is not None:
+                payload["extra"] = {
+                    "search_seconds":
+                        float(evaluation.search.search_seconds),
+                    "search_epochs": float(evaluation.search.epochs_run),
+                    "best_val_score":
+                        float(evaluation.search.best_val_score),
+                }
+        else:
+            payload["assignment"] = None
+        return payload
+    except Exception as exc:  # noqa: BLE001 — a trial must not kill the run
+        return {
+            "trial_id": int(trial.trial_id),
+            "score": None,
+            "seed": int(trial.seed),
+            "rung": int(trial.rung),
+            "ops": trial.ops,
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}\n"
+                     f"{traceback.format_exc(limit=5)}",
+        }
+
+
+__all__ = ["execute_trial"]

@@ -11,6 +11,8 @@ Commands
 ``serve``      serve a ModelBundle over HTTP (predict/onboard/stats)
 ``predict``    query a bundle (locally or against a running server)
 ``profile``    run a small search under the op-level profiler
+``tune``       trial-based architecture search on the parallel scheduler
+``strategies`` list the registered tuning strategies
 """
 
 from __future__ import annotations
@@ -176,6 +178,85 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from .autotune import STRATEGY_REGISTRY, available_strategies
+
+    for name in available_strategies():
+        doc = (STRATEGY_REGISTRY[name].__doc__ or "").strip()
+        summary = doc.splitlines()[0] if doc else ""
+        print(f"{name:>10s}  {summary}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .autotune import (
+        DatasetRef,
+        TrialScheduler,
+        TuneTask,
+        build_strategy,
+        export_best,
+    )
+    from .core import AutoACConfig
+    from .training import TrainConfig
+
+    search_config = AutoACConfig(
+        hidden_dim=args.hidden_dim,
+        out_dim=args.hidden_dim,
+        num_clusters=args.slots,
+        search_epochs=args.search_epochs,
+        patience=max(args.search_epochs // 4, 5),
+        retrain=TrainConfig(epochs=args.budget,
+                            patience=max(args.budget // 4, 5)),
+    )
+    task = TuneTask(
+        dataset=DatasetRef(args.dataset, scale=args.scale, seed=args.seed),
+        model_name=args.model,
+        hidden_dim=args.hidden_dim,
+        out_dim=args.hidden_dim,
+        num_slots=args.slots,
+        max_budget=args.budget,
+        search_config=search_config,
+    )
+    if args.strategy == "grid":
+        print("grid sweeps need an explicit values list; use "
+              "repro.experiments.runner.tune_sweep (or the figure "
+              "drivers) instead of `repro tune --strategy grid`",
+              file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.strategy in ("random", "evolution", "asha"):
+        kwargs["num_trials"] = args.trials
+    if args.strategy == "asha":
+        kwargs["eta"] = args.eta
+        if args.min_budget:
+            kwargs["min_budget"] = args.min_budget
+    if args.strategy == "evolution":
+        population = max(2, min(args.population, args.trials))
+        kwargs["population_size"] = population
+        kwargs["sample_size"] = max(1, min(args.sample_size, population))
+    strategy = build_strategy(args.strategy, num_slots=task.num_slots,
+                              num_ops=task.num_ops,
+                              max_budget=task.max_budget, seed=args.seed,
+                              **kwargs)
+    scheduler = TrialScheduler(task, strategy, workers=args.workers,
+                               journal=args.journal, resume=args.resume)
+    report = scheduler.run()
+    stats = report.stats
+    print(f"{args.strategy}: {stats.executed} trials run, "
+          f"{stats.replayed} replayed from journal, {stats.failed} failed")
+    print(f"{'rank':>4s} {'trial':>5s} {'rung':>4s} {'budget':>6s} "
+          f"{'val-F1':>8s} {'test-F1':>8s}")
+    for rank, row in enumerate(report.leaderboard(args.top), start=1):
+        print(f"{rank:>4d} {row.trial_id:>5d} {row.rung:>4d} "
+              f"{row.budget_used:>6d} {row.score:>8.4f} "
+              f"{row.macro_f1:>8.4f}")
+    if args.out:
+        bundle = export_best(report, path=args.out)
+        print(f"best trial retrained and exported to {args.out} "
+              f"(macro-F1 {bundle.metrics['macro_f1']:.4f})")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from .core import AutoACConfig, run_autoac
     from .datasets import get_dataset
@@ -315,6 +396,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--top", type=int, default=30,
                            help="rows to show in the per-op table")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_tune = sub.add_parser(
+        "tune", help="trial-based search on the parallel trial scheduler")
+    _add_scale(p_tune)
+    p_tune.add_argument("--dataset", default="imdb")
+    p_tune.add_argument("--model", default="simple_hgn")
+    p_tune.add_argument("--strategy", default="asha",
+                        help="a registered strategy (see `repro strategies`)")
+    p_tune.add_argument("--trials", type=int, default=8,
+                        help="trial count (initial rung size for asha)")
+    p_tune.add_argument("--budget", type=int, default=40,
+                        help="full retrain epoch budget per trial")
+    p_tune.add_argument("--min-budget", type=int, default=0,
+                        help="asha first-rung epochs (0 → derived)")
+    p_tune.add_argument("--eta", type=int, default=2,
+                        help="asha rung growth / survivor fraction")
+    p_tune.add_argument("--search-epochs", type=int, default=40,
+                        help="bi-level search epochs for one-shot trials")
+    p_tune.add_argument("--population", type=int, default=8,
+                        help="evolution population size")
+    p_tune.add_argument("--sample-size", type=int, default=3,
+                        help="evolution tournament size")
+    p_tune.add_argument("--slots", type=int, default=8,
+                        help="op-vector length (V⁻ cluster granularity)")
+    p_tune.add_argument("--hidden-dim", type=int, default=64)
+    p_tune.add_argument("--workers", type=int, default=0,
+                        help="parallel worker processes (0/1 → inline)")
+    p_tune.add_argument("--journal", default=None,
+                        help="JSONL checkpoint journal path")
+    p_tune.add_argument("--resume", action="store_true",
+                        help="replay completed trials from --journal")
+    p_tune.add_argument("--top", type=int, default=5,
+                        help="leaderboard rows to print")
+    p_tune.add_argument("--out", default=None,
+                        help="export the winner as a ModelBundle (.npz)")
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_strategies = sub.add_parser(
+        "strategies", help="list registered tuning strategies")
+    p_strategies.set_defaults(func=_cmd_strategies)
 
     p_serve = sub.add_parser("serve", help="serve a bundle over HTTP")
     p_serve.add_argument("--bundle", required=True,

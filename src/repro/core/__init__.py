@@ -9,6 +9,11 @@ from .clustering import (
     modularity_loss,
 )
 from .config import AutoACConfig
+from .evaluate import (
+    ArchitectureEvaluation,
+    budget_train_config,
+    evaluate_architecture,
+)
 from .pipeline import (
     AutoACLinkResult,
     AutoACResult,
@@ -18,6 +23,7 @@ from .pipeline import (
 from .proximal import prox_c, prox_c1, prox_c2, proximal_step
 from .retrain import (
     RetrainArtifacts,
+    retrain_assignment_artifacts,
     retrain_link_prediction,
     retrain_node_classification,
     retrain_node_classification_artifacts,
@@ -41,7 +47,11 @@ __all__ = [
     "run_autoac_link_prediction",
     "retrain_node_classification",
     "retrain_node_classification_artifacts",
+    "retrain_assignment_artifacts",
     "RetrainArtifacts",
+    "ArchitectureEvaluation",
+    "budget_train_config",
+    "evaluate_architecture",
     "retrain_link_prediction",
     "FORMAT_VERSION",
     "CompletionParameters",

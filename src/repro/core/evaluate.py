@@ -1,0 +1,162 @@
+"""Reusable single-architecture evaluation — the autotune trial body.
+
+``evaluate_architecture`` answers one question: *how good is this
+attribute-completion architecture under this budget?*  It is the unit of
+work every trial-based search strategy (:mod:`repro.autotune`) executes,
+extracted from the search→retrain plumbing in :mod:`repro.core.search`
+and :mod:`repro.core.retrain` so schedulers, sweeps and benchmarks all
+score candidates through the same code path:
+
+* ``assignment`` given — freeze the per-node completion choices into a
+  :class:`~repro.completion.FixedAssignmentFeatures` and train a fresh
+  backbone for up to ``budget`` epochs (the random/evolution/ASHA case);
+* ``assignment=None`` — run the one-shot bi-level DARTS-style search
+  first (the paper's AutoAC), then retrain its discrete winner; the
+  one-shot searcher is "just another strategy" through this door.
+
+Selection is on ``val_macro_f1`` (the score early-stopping tracked),
+never on test metrics; test macro/micro-F1 are reported for the final
+leaderboard only.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..completion import SearchSpace
+from ..datasets import HeteroDataset
+from ..training import TrainConfig, set_seed
+from .adapters import NodeClassificationAdapter
+from .config import AutoACConfig
+from .retrain import RetrainArtifacts, retrain_assignment_artifacts
+from .search import AutoACSearcher, SearchResult
+
+
+def budget_train_config(budget: Optional[int],
+                        base: Optional[TrainConfig] = None) -> TrainConfig:
+    """Resolve an epoch budget into a :class:`TrainConfig`.
+
+    ``budget=None`` keeps ``base`` (or the defaults) untouched; an integer
+    budget caps the epochs and scales the early-stopping patience with it,
+    so low-rung ASHA evaluations stop quickly and full-budget evaluations
+    keep the usual patience headroom.
+    """
+    if budget is None:
+        return base if base is not None else TrainConfig()
+    base = base if base is not None else TrainConfig()
+    return dataclasses.replace(base, epochs=int(budget),
+                               patience=max(int(budget) // 4, 5))
+
+
+@dataclass
+class ArchitectureEvaluation:
+    """Everything a tuning strategy needs to rank one candidate."""
+
+    assignment: np.ndarray         #: realized per-V⁻-node op choices
+    val_macro_f1: float            #: the selection score (higher is better)
+    macro_f1: float                #: test macro-F1 (reporting only)
+    micro_f1: float                #: test micro-F1 (reporting only)
+    epochs_run: int                #: retrain epochs actually consumed
+    seconds: float                 #: wall time (search, if any, + retrain)
+    op_names: Optional[list] = None
+    search: Optional[SearchResult] = None        #: set for one-shot trials
+    artifacts: Optional[RetrainArtifacts] = None  #: set with keep_artifacts
+
+    def op_distribution(self) -> Dict[str, float]:
+        """Fraction of V⁻ nodes assigned to each op (mirrors SearchResult)."""
+        names = self.op_names or []
+        total = max(len(self.assignment), 1)
+        return {
+            name: float(np.sum(self.assignment == index)) / total
+            for index, name in enumerate(names)
+        }
+
+
+def evaluate_architecture(
+    dataset: HeteroDataset,
+    assignment: Optional[np.ndarray] = None,
+    model_name: str = "simple_hgn",
+    budget: Optional[int] = None,
+    hidden_dim: int = 64,
+    out_dim: int = 64,
+    space: Optional[SearchSpace] = None,
+    seed: Optional[int] = None,
+    search_config: Optional[AutoACConfig] = None,
+    train_config: Optional[TrainConfig] = None,
+    keep_artifacts: bool = False,
+    **model_kwargs,
+) -> ArchitectureEvaluation:
+    """Score one completion architecture under an epoch budget.
+
+    With ``assignment`` given, the budget bounds the retraining epochs
+    (patience scales along, see :func:`budget_train_config`).  With
+    ``assignment=None`` the bi-level search runs first under
+    ``search_config`` (its ``hidden_dim``/``out_dim``/``model_kwargs``
+    then take precedence, exactly like :func:`repro.core.run_autoac`),
+    and the budget bounds only the retraining stage.
+
+    ``seed`` (when given) seeds every RNG via
+    :func:`repro.training.set_seed` before any work happens and is also
+    handed to the searcher, making the evaluation a pure function of
+    ``(dataset, architecture, budget, seed)`` — the property the parallel
+    trial scheduler's determinism guarantee is built on.
+    """
+    if seed is not None:
+        set_seed(seed)
+    start = time.perf_counter()
+
+    search_result: Optional[SearchResult] = None
+    if assignment is None:
+        config = search_config or AutoACConfig(
+            hidden_dim=hidden_dim, out_dim=out_dim,
+            model_kwargs=dict(model_kwargs))
+        adapter = NodeClassificationAdapter(dataset)
+        searcher = AutoACSearcher(adapter, model_name, config, space=space,
+                                  seed=seed if seed is not None else 0)
+        search_result = searcher.search()
+        assignment = search_result.assignment
+        hidden_dim, out_dim = config.hidden_dim, config.out_dim
+        model_kwargs = dict(config.model_kwargs)
+        train_config = budget_train_config(budget, config.retrain)
+    else:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        num_missing = dataset.missing_global_ids.shape[0]
+        if assignment.shape != (num_missing,):
+            raise ValueError(
+                f"assignment must have one op per V⁻ node "
+                f"(expected shape ({num_missing},), got {assignment.shape})")
+        num_ops = len(space) if space is not None else len(SearchSpace())
+        if assignment.size and not (0 <= assignment.min()
+                                    and assignment.max() < num_ops):
+            raise ValueError(
+                f"assignment op indices must lie in [0, {num_ops}); "
+                f"got range [{assignment.min()}, {assignment.max()}]")
+        train_config = budget_train_config(budget, train_config)
+
+    artifacts = retrain_assignment_artifacts(
+        dataset, model_name, assignment, hidden_dim=hidden_dim,
+        out_dim=out_dim, config=train_config, space=space, **model_kwargs)
+    seconds = time.perf_counter() - start
+
+    result = artifacts.result
+    op_names = list(space) if space is not None else list(SearchSpace())
+    return ArchitectureEvaluation(
+        assignment=np.asarray(assignment, dtype=np.int64),
+        val_macro_f1=float(result.val_macro_f1),
+        macro_f1=float(result.macro_f1),
+        micro_f1=float(result.micro_f1),
+        epochs_run=int(result.epochs_run),
+        seconds=float(seconds),
+        op_names=op_names,
+        search=search_result,
+        artifacts=artifacts if keep_artifacts else None,
+    )
+
+
+__all__ = ["ArchitectureEvaluation", "budget_train_config",
+           "evaluate_architecture"]

@@ -42,6 +42,30 @@ class RetrainArtifacts:
     result: TrainResult
 
 
+def retrain_assignment_artifacts(
+    dataset: HeteroDataset, model_name: str, assignment: np.ndarray,
+    hidden_dim: int = 64, out_dim: int = 64,
+    config: Optional[TrainConfig] = None,
+    space: Optional[SearchSpace] = None,
+    **model_kwargs,
+) -> RetrainArtifacts:
+    """Train a fresh backbone under a raw per-node op ``assignment``.
+
+    The assignment-level entry point shared by the search→retrain
+    pipeline and by :func:`repro.core.evaluate_architecture` (the
+    autotune trial body) — trial-based strategies propose assignments
+    directly, without a :class:`SearchResult` around them.
+    """
+    features = FixedAssignmentFeatures(dataset, hidden_dim, assignment,
+                                       space=space)
+    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
+                        out_dim=out_dim, **model_kwargs)
+    trainer = NodeClassificationTrainer(model, features, dataset,
+                                        config or TrainConfig())
+    result = trainer.train()
+    return RetrainArtifacts(model=model, features=features, result=result)
+
+
 def retrain_node_classification_artifacts(
     dataset: HeteroDataset, model_name: str, search: SearchResult,
     hidden_dim: int = 64, out_dim: int = 64,
@@ -50,14 +74,9 @@ def retrain_node_classification_artifacts(
     **model_kwargs,
 ) -> RetrainArtifacts:
     """Retrain and keep the trained model + feature builder (export hook)."""
-    features = FixedAssignmentFeatures(dataset, hidden_dim, search.assignment,
-                                       space=space)
-    model = build_model(model_name, dataset, hidden_dim=hidden_dim,
-                        out_dim=out_dim, **model_kwargs)
-    trainer = NodeClassificationTrainer(model, features, dataset,
-                                        config or TrainConfig())
-    result = trainer.train()
-    return RetrainArtifacts(model=model, features=features, result=result)
+    return retrain_assignment_artifacts(
+        dataset, model_name, search.assignment, hidden_dim=hidden_dim,
+        out_dim=out_dim, config=config, space=space, **model_kwargs)
 
 
 def retrain_node_classification(
@@ -97,6 +116,7 @@ def retrain_link_prediction(
     return trainer.train()
 
 
-__all__ = ["RetrainArtifacts", "retrain_node_classification",
+__all__ = ["RetrainArtifacts", "retrain_assignment_artifacts",
+           "retrain_node_classification",
            "retrain_node_classification_artifacts",
            "retrain_link_prediction"]

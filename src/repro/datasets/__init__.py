@@ -10,6 +10,7 @@ from .generator import (
     scale_spec,
     search_benchmark_spec,
     sparse_benchmark_spec,
+    tune_benchmark_spec,
 )
 from .imdb import IMDB_SPEC
 from .lastfm import LASTFM_SPEC
@@ -25,6 +26,7 @@ __all__ = [
     "generate",
     "sparse_benchmark_spec",
     "search_benchmark_spec",
+    "tune_benchmark_spec",
     "scale_spec",
     "DBLP_SPEC",
     "ACM_SPEC",

@@ -201,6 +201,38 @@ def search_benchmark_spec(num_nodes: int = 3000,
     )
 
 
+def tune_benchmark_spec(num_nodes: int = 900,
+                        avg_degree: float = 8.0,
+                        num_classes: int = 5,
+                        attribute_dim: int = 48) -> SchemaSpec:
+    """Schema for the autotune speedup benchmark.
+
+    Citation-style graph (papers attributed + labelled, authors V⁻)
+    sized so one *trial* — retraining a backbone under a candidate
+    completion assignment — takes a fraction of a second: the speedup
+    benchmark runs dozens of trials (sequential random search vs ASHA
+    with parallel workers) and must still finish in CI minutes.  The
+    guest fraction is kept at the default so the op choice genuinely
+    matters (one-hot wins for guests, aggregation for the rest), giving
+    the strategies a real signal to search over.  Used by
+    ``benchmarks/test_autotune_speedup.py``.
+    """
+    n_paper = int(round(num_nodes * 0.7))
+    n_author = num_nodes - n_paper
+    return SchemaSpec(
+        name=f"tune-bench-{num_nodes}",
+        node_counts={"paper": n_paper, "author": n_author},
+        relations=(
+            RelationSpec("paper", "cites", "paper", avg_degree / 2.0),
+            RelationSpec("paper", "written_by", "author", avg_degree / 2.0),
+        ),
+        target_type="paper",
+        attributed_types=("paper",),
+        num_classes=num_classes,
+        attribute_dim=attribute_dim,
+    )
+
+
 def scale_spec(num_nodes: int = 50_000,
                avg_degree: float = 6.0,
                num_classes: int = 8,
@@ -305,4 +337,4 @@ def generate(spec: SchemaSpec, seed: int = 0,
 
 
 __all__ = ["RelationSpec", "SchemaSpec", "generate", "sparse_benchmark_spec",
-           "search_benchmark_spec", "scale_spec"]
+           "search_benchmark_spec", "tune_benchmark_spec", "scale_spec"]

@@ -13,7 +13,7 @@ import numpy as np
 from ..datasets import get_dataset
 from ..models import AUTOAC_BACKBONES
 from .configs import preset
-from .runner import train_autoac, train_autoac_repeated
+from .runner import train_autoac, tune_sweep
 
 CLUSTER_METHODS = ("none", "em", "em_warmup", "modularity")
 
@@ -101,20 +101,23 @@ def figure8(scale: Optional[str] = None,
             datasets: Sequence[str] = ("dblp", "acm", "imdb"),
             backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
             m_values: Sequence[int] = (2, 4, 8, 12, 16),
-            seed: int = 0) -> Dict:
-    """Figure 8: sensitivity to the number of clusters M."""
+            seed: int = 0, workers: int = 0) -> Dict:
+    """Figure 8: sensitivity to the number of clusters M.
+
+    The sweep runs as a ``grid`` strategy on the autotune trial
+    scheduler (``workers`` trials in parallel); grid trials reuse the
+    base seed, so values match the historical sequential loop exactly.
+    """
     p = preset(scale)
     series: Dict[str, Dict[str, Dict[int, float]]] = {}
     for backbone in backbones:
         series[backbone] = {}
         for ds_name in datasets:
-            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
-            sweep = {}
-            for m in m_values:
-                metrics = train_autoac(dataset, ds_name, backbone, p,
-                                       seed=seed, num_clusters=m)
-                sweep[m] = metrics["macro_f1"]
-            series[backbone][ds_name] = sweep
+            rows = tune_sweep(ds_name, backbone, p,
+                              [{"num_clusters": m} for m in m_values],
+                              seed=seed, workers=workers)
+            series[backbone][ds_name] = {
+                m: row["macro_f1"] for m, row in zip(m_values, rows)}
     return {"figure": "8", "series": series, "m_values": list(m_values)}
 
 
@@ -122,20 +125,23 @@ def figure9(scale: Optional[str] = None,
             datasets: Sequence[str] = ("dblp", "acm", "imdb"),
             backbones: Sequence[str] = tuple(AUTOAC_BACKBONES),
             lambda_values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
-            seed: int = 0) -> Dict:
-    """Figure 9: sensitivity to the clustering-loss coefficient lambda."""
+            seed: int = 0, workers: int = 0) -> Dict:
+    """Figure 9: sensitivity to the clustering-loss coefficient lambda.
+
+    Scheduler-backed sweep; see :func:`figure8`.
+    """
     p = preset(scale)
     series: Dict[str, Dict[str, Dict[float, float]]] = {}
     for backbone in backbones:
         series[backbone] = {}
         for ds_name in datasets:
-            dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
-            sweep = {}
-            for lam in lambda_values:
-                metrics = train_autoac(dataset, ds_name, backbone, p,
-                                       seed=seed, lambda_cluster=lam)
-                sweep[lam] = metrics["macro_f1"]
-            series[backbone][ds_name] = sweep
+            rows = tune_sweep(ds_name, backbone, p,
+                              [{"lambda_cluster": lam}
+                               for lam in lambda_values],
+                              seed=seed, workers=workers)
+            series[backbone][ds_name] = {
+                lam: row["macro_f1"]
+                for lam, row in zip(lambda_values, rows)}
     return {"figure": "9", "series": series,
             "lambda_values": list(lambda_values)}
 
@@ -145,23 +151,25 @@ def figure10_11(scale: Optional[str] = None,
                 backbone: str = "simple_hgn",
                 lr_values: Sequence[float] = (3e-3, 4e-3, 5e-3, 6e-3, 7e-3),
                 wd_values: Sequence[float] = (5e-6, 1e-5, 2e-5, 3e-5, 4e-3),
-                seed: int = 0) -> Dict:
-    """Figures 10/11: sensitivity to alpha's learning rate and weight decay."""
+                seed: int = 0, workers: int = 0) -> Dict:
+    """Figures 10/11: sensitivity to alpha's learning rate and weight decay.
+
+    Scheduler-backed sweep; see :func:`figure8`.
+    """
     p = preset(scale)
     lr_series: Dict[str, Dict[float, float]] = {}
     wd_series: Dict[str, Dict[float, float]] = {}
     for ds_name in datasets:
-        dataset = get_dataset(ds_name, scale=p.scale, seed=seed)
-        lr_series[ds_name] = {}
-        for lr in lr_values:
-            metrics = train_autoac(dataset, ds_name, backbone, p,
-                                   seed=seed, alpha_lr=lr)
-            lr_series[ds_name][lr] = metrics["macro_f1"]
-        wd_series[ds_name] = {}
-        for wd in wd_values:
-            metrics = train_autoac(dataset, ds_name, backbone, p,
-                                   seed=seed, alpha_weight_decay=wd)
-            wd_series[ds_name][wd] = metrics["macro_f1"]
+        overrides = ([{"alpha_lr": lr} for lr in lr_values]
+                     + [{"alpha_weight_decay": wd} for wd in wd_values])
+        rows = tune_sweep(ds_name, backbone, p, overrides,
+                          seed=seed, workers=workers)
+        lr_series[ds_name] = {
+            lr: row["macro_f1"]
+            for lr, row in zip(lr_values, rows[:len(lr_values)])}
+        wd_series[ds_name] = {
+            wd: row["macro_f1"]
+            for wd, row in zip(wd_values, rows[len(lr_values):])}
     return {"figure": "10/11", "lr_series": lr_series, "wd_series": wd_series,
             "lr_values": list(lr_values), "wd_values": list(wd_values)}
 

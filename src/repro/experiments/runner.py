@@ -116,6 +116,56 @@ def train_autoac_repeated(dataset: HeteroDataset, dataset_name: str,
     }
 
 
+def tune_sweep(dataset_name: str, model_name: str, p: ExperimentPreset,
+               overrides_list: List[Dict], seed: int = 0, workers: int = 0,
+               journal: Optional[str] = None,
+               **base_overrides) -> List[Dict[str, float]]:
+    """Run one full AutoAC search+retrain per override set, on the scheduler.
+
+    The paper's sensitivity sweeps (Figs. 8–11) as a ``grid`` strategy
+    over :class:`~repro.autotune.TrialScheduler`: each grid point applies
+    its overrides to the paper-preset search config and runs the
+    one-shot search end to end.  Grid trials reuse the *base* seed, so a
+    row is bit-identical to the sequential
+    ``train_autoac(..., **overrides)`` call it replaces — but rows can
+    now run on parallel workers and be checkpoint-resumed like any other
+    tuning run.  Rows come back in ``overrides_list`` order.
+    """
+    from ..autotune import DatasetRef, GridSearch, TrialScheduler, TuneTask
+
+    config = autoac_config(model_name, dataset_name, p, **base_overrides)
+    task = TuneTask(
+        dataset=DatasetRef(dataset_name, scale=p.scale, seed=seed),
+        model_name=model_name,
+        hidden_dim=config.hidden_dim,
+        out_dim=config.out_dim,
+        num_slots=config.num_clusters,
+        max_budget=p.train.epochs,
+        search_config=config,
+    )
+    strategy = GridSearch(num_slots=task.num_slots, num_ops=task.num_ops,
+                          max_budget=task.max_budget, seed=seed,
+                          values=overrides_list)
+    report = TrialScheduler(task, strategy, workers=workers,
+                            journal=journal, resume=journal is not None).run()
+    by_id = {result.trial_id: result for result in report.results}
+    rows: List[Dict[str, float]] = []
+    for index in range(len(overrides_list)):
+        result = by_id[index]
+        if result.failed:
+            raise RuntimeError(
+                f"sweep point {overrides_list[index]} failed: {result.error}")
+        rows.append({
+            "macro_f1": result.macro_f1,
+            "micro_f1": result.micro_f1,
+            "val_macro_f1": result.score,
+            "search_seconds": result.extra.get("search_seconds", 0.0),
+            "runtime_total": result.seconds,
+            "op_distribution": result.op_distribution,
+        })
+    return rows
+
+
 def train_hgnnac(dataset: HeteroDataset, model_name: str,
                  p: ExperimentPreset, seed: int = 0) -> Dict[str, float]:
     """HGNN-AC pipeline: metapath2vec pre-learning, then joint training."""
@@ -205,6 +255,7 @@ __all__ = [
     "train_baseline_repeated",
     "train_autoac",
     "train_autoac_repeated",
+    "tune_sweep",
     "train_hgnnac",
     "train_hgnnac_repeated",
     "train_link_baseline",

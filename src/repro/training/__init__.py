@@ -17,7 +17,7 @@ from .metrics import (
     roc_auc,
 )
 from .minibatch import MiniBatchConfig, MiniBatchTrainer
-from .seed import set_seed
+from .seed import derive_seed, set_seed, set_trial_seed
 from .trainer import (
     NodeClassificationTrainer,
     TrainConfig,
@@ -28,6 +28,8 @@ from .trainer import (
 __all__ = [
     "EarlyStopping",
     "set_seed",
+    "derive_seed",
+    "set_trial_seed",
     "macro_f1",
     "micro_f1",
     "accuracy",

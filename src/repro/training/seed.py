@@ -1,4 +1,15 @@
-"""Global seeding for reproducible experiments."""
+"""Global seeding for reproducible experiments.
+
+Besides the process-wide :func:`set_seed`, this module owns the
+**per-trial seed derivation** used by :mod:`repro.autotune`: every trial
+of a tuning run gets ``derive_seed(base_seed, trial_id)``, a
+deterministic child seed that is (a) independent of how many workers the
+scheduler uses and of the order trials finish in, and (b) spawn-safe —
+a freshly spawned worker process calls :func:`set_seed` with the derived
+value and needs no RNG state inherited from the parent.  Two schedulers
+started from the same base seed therefore produce identical leaderboards
+whether they run inline, forked, or spawned.
+"""
 
 from __future__ import annotations
 
@@ -8,12 +19,42 @@ import numpy as np
 
 from ..tensor import manual_seed
 
+_SEED_SPAN = 2 ** 32
+
 
 def set_seed(seed: int) -> None:
     """Seed Python, numpy's legacy RNG, and the tensor package generator."""
     random.seed(seed)
-    np.random.seed(seed % (2 ** 32))
+    np.random.seed(seed % _SEED_SPAN)
     manual_seed(seed)
 
 
-__all__ = ["set_seed"]
+def derive_seed(base_seed: int, *keys: int) -> int:
+    """Deterministic child seed from a base seed and integer key path.
+
+    Built on :class:`numpy.random.SeedSequence`, so nearby key paths
+    (``trial_id`` 0, 1, 2, …) still yield statistically independent
+    streams — incrementing the base seed by the trial id would not.
+    Negative inputs are folded into the valid entropy range first.
+    """
+    entropy = [int(base_seed) % _SEED_SPAN]
+    entropy += [int(key) % _SEED_SPAN for key in keys]
+    sequence = np.random.SeedSequence(entropy)
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def set_trial_seed(base_seed: int, trial_id: int) -> int:
+    """Seed every RNG for one tuning trial; returns the derived seed.
+
+    The scheduler's workers call this (directly or via the trial's
+    pre-derived ``seed`` field) before touching any random state, which
+    makes parallel trials reproducible: the result of trial ``i`` depends
+    only on ``(base_seed, i)``, never on which worker ran it or what ran
+    on that worker before.
+    """
+    seed = derive_seed(base_seed, trial_id)
+    set_seed(seed)
+    return seed
+
+
+__all__ = ["set_seed", "derive_seed", "set_trial_seed"]

@@ -8,10 +8,14 @@ import pytest
 from repro.experiments.runner import (
     mean_std,
     single_op_features_factory,
+    train_autoac,
+    train_autoac_repeated,
     train_baseline,
+    tune_sweep,
 )
-from repro.experiments.configs import preset
+from repro.experiments.configs import ExperimentPreset, preset
 from repro.tensor import Tensor, gradcheck
+from repro.training import LinkPredConfig, TrainConfig
 
 
 class TestMeanStd:
@@ -45,6 +49,81 @@ class TestTrainBaselineHelper:
         assert set(row) == {"macro_f1", "micro_f1", "runtime_total",
                             "runtime_per_epoch"}
         assert row["runtime_per_epoch"] <= row["runtime_total"]
+
+
+def micro_preset(repeats: int = 2) -> ExperimentPreset:
+    """A preset small enough for helper tests to run real pipelines."""
+    return ExperimentPreset(
+        scale="tiny",
+        train=TrainConfig(epochs=3, patience=5),
+        link=LinkPredConfig(epochs=3, patience=5),
+        search_epochs=2,
+        search_patience=5,
+        repeats=repeats,
+        hidden_dim=16,
+    )
+
+
+class TestTrainAutoacRepeated:
+    def test_aggregation_over_seeds(self, imdb_tiny, monkeypatch):
+        calls = []
+
+        def fake_train_autoac(dataset, dataset_name, model_name, p,
+                              seed=0, **overrides):
+            calls.append(seed)
+            return {
+                "macro_f1": 0.5 + 0.1 * seed, "micro_f1": 0.6 + 0.1 * seed,
+                "search_seconds": 1.0, "retrain_seconds": 2.0,
+                "runtime_total": 3.0, "runtime_per_epoch": 0.5,
+                "op_distribution": {"mean": 1.0}, "assignment": [0],
+                "history": {"val_score": [0.1]}, "cluster_labels": [0],
+            }
+
+        import repro.experiments.runner as runner_module
+        monkeypatch.setattr(runner_module, "train_autoac", fake_train_autoac)
+        row = train_autoac_repeated(imdb_tiny, "imdb", "gcn",
+                                    micro_preset(repeats=3), base_seed=10)
+        assert calls == [10, 11, 12]
+        assert row["macro_f1"] == pytest.approx(0.5 + 0.1 * 11)
+        assert row["macro_f1_std"] == pytest.approx(np.std([0.5 + 0.1 * s
+                                                            for s in calls]))
+        # non-aggregated fields come from the first run
+        assert row["op_distribution"] == {"mean": 1.0}
+        assert row["runtime_total"] == pytest.approx(3.0)
+
+    def test_single_repeat_has_zero_std(self, imdb_tiny):
+        p = micro_preset(repeats=1)
+        row = train_autoac_repeated(imdb_tiny, "imdb", "gcn", p, base_seed=0,
+                                    num_clusters=2, warmup_epochs=1)
+        assert row["macro_f1_std"] == 0.0
+        assert row["micro_f1_std"] == 0.0
+        assert 0.0 <= row["macro_f1"] <= 1.0
+
+
+class TestTuneSweep:
+    def test_rows_match_sequential_train_autoac(self, imdb_tiny):
+        # the scheduler-backed sweep must reproduce the historical
+        # sequential loop bit for bit (grid trials reuse the base seed)
+        p = micro_preset(repeats=1)
+        rows = tune_sweep("imdb", "gcn", p,
+                          [{"num_clusters": 2}, {"num_clusters": 3}], seed=0)
+        assert len(rows) == 2
+        expected = train_autoac(imdb_tiny, "imdb", "gcn", p, seed=0,
+                                num_clusters=2)
+        assert rows[0]["macro_f1"] == expected["macro_f1"]
+        assert rows[0]["micro_f1"] == expected["micro_f1"]
+
+    def test_journal_resume_skips_completed_points(self, imdb_tiny,
+                                                   tmp_path):
+        p = micro_preset(repeats=1)
+        journal = tmp_path / "sweep.jsonl"
+        overrides = [{"num_clusters": 2}, {"num_clusters": 3}]
+        first = tune_sweep("imdb", "gcn", p, overrides, seed=0,
+                           journal=journal)
+        again = tune_sweep("imdb", "gcn", p, overrides, seed=0,
+                           journal=journal)
+        assert [r["macro_f1"] for r in first] == [r["macro_f1"]
+                                                  for r in again]
 
 
 class TestEngineEdgeCases:

@@ -265,6 +265,41 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "bundle written" in out and "class" in out
 
+    def test_strategies_command_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("random", "evolution", "asha", "darts", "grid"):
+            assert name in out
+
+    def test_tune_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["tune", "--strategy", "asha",
+                                  "--trials", "4", "--budget", "8",
+                                  "--workers", "2", "--resume",
+                                  "--journal", "j.jsonl"])
+        assert args.command == "tune" and args.strategy == "asha"
+        assert args.workers == 2 and args.resume
+        assert args.journal == "j.jsonl"
+
+    def test_tune_command_runs_and_resumes(self, tmp_path, capsys):
+        journal = tmp_path / "tune.jsonl"
+        bundle = tmp_path / "tuned.npz"
+        argv = ["tune", "--dataset", "imdb", "--scale", "tiny",
+                "--model", "gcn", "--strategy", "random", "--trials", "2",
+                "--budget", "3", "--hidden-dim", "16", "--slots", "4",
+                "--journal", str(journal)]
+        assert main(argv + ["--out", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "2 trials run" in out and "exported" in out
+        assert journal.exists() and bundle.exists()
+        assert main(argv + ["--resume"]) == 0
+        assert "2 replayed from journal" in capsys.readouterr().out
+
+    def test_tune_unknown_strategy_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            main(["tune", "--dataset", "imdb", "--scale", "tiny",
+                  "--strategy", "bogus"])
+
     def test_search_then_train_from_saved(self, tmp_path, capsys):
         out_file = tmp_path / "imdb_search.npz"
         code = main(["search", "--dataset", "imdb", "--scale", "tiny",

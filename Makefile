@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke profile
+.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke profile report
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -33,6 +33,11 @@ bench-scale:
 tune-smoke:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
 		test_autotune_speedup.py
+
+# Static HTML report from the tune-smoke journal (docs/OBSERVABILITY.md).
+report:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro report \
+		TUNE_journal.jsonl --out TUNE_report.html
 
 # Per-op profiler table for a small search run (see docs/PERFORMANCE.md).
 profile:

@@ -22,6 +22,7 @@ leaves) and a fresh scheduler resumed from it must reproduce the
 
 from __future__ import annotations
 
+import json
 import time
 
 from repro.autotune import DatasetRef, TrialScheduler, TuneTask, build_strategy
@@ -156,10 +157,14 @@ def test_resume_after_kill_reproduces_leaderboard(tmp_path, tune_spec):
                  for r in full_report.leaderboard()]
     total = len(full_report.results)
 
-    # simulate the kill: keep header + the first half of the trial lines,
-    # with a torn final line from the interrupted write
+    # simulate the kill: keep header + the first half of the trial records
+    # (trial lines interleave with derived timeline lines, so cut on the
+    # parsed kind), with a torn final line from the interrupted write
     lines = journal.read_text().splitlines()
-    keep = 1 + total // 2
+    trial_line_indices = [i for i, line in enumerate(lines)
+                          if json.loads(line).get("kind") == "trial"]
+    survivors = total // 2
+    keep = trial_line_indices[survivors - 1] + 1
     torn = tmp_path / "torn.jsonl"
     torn.write_text("\n".join(lines[:keep]) + "\n"
                     + '{"kind": "trial", "trial": {"trial_id"')
@@ -169,8 +174,8 @@ def test_resume_after_kill_reproduces_leaderboard(tmp_path, tune_spec):
     resumed = [(r.trial_id, r.score, r.budget_used)
                for r in resumed_report.leaderboard()]
 
-    assert resumed_report.stats.replayed == keep - 1
-    assert resumed_report.stats.executed == total - (keep - 1)
+    assert resumed_report.stats.replayed == survivors
+    assert resumed_report.stats.executed == total - survivors
     assert resumed == reference, "resumed leaderboard differs from original"
 
     # the journal now holds every trial; resuming again replays everything

@@ -29,8 +29,21 @@ resume guarantees and parallelism caveats.
 """
 
 from .export import best_assignment, export_best
-from .journal import JOURNAL_FORMAT_VERSION, TrialJournal, validate_fingerprint
+from .journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalContents,
+    TrialJournal,
+    validate_fingerprint,
+)
 from .scheduler import TrialScheduler, TuneReport, TuneStats
+from .stoppers import (
+    AllStopper,
+    AnyStopper,
+    MaxTrialsStopper,
+    ProgressThresholdStopper,
+    TargetScoreStopper,
+    TrialStopper,
+)
 from .strategies import (
     STRATEGY_REGISTRY,
     GridSearch,
@@ -68,8 +81,15 @@ __all__ = [
     "TuneReport",
     "TuneStats",
     "TrialJournal",
+    "JournalContents",
     "JOURNAL_FORMAT_VERSION",
     "validate_fingerprint",
+    "TrialStopper",
+    "ProgressThresholdStopper",
+    "TargetScoreStopper",
+    "MaxTrialsStopper",
+    "AnyStopper",
+    "AllStopper",
     "execute_trial",
     "best_assignment",
     "export_best",

@@ -1,24 +1,51 @@
 """JSON-lines trial journal — the scheduler's crash-safe checkpoint.
 
 Line 1 is a header fingerprinting the whole run (task + strategy + seed +
-format version); every following line is one completed trial with its
-result.  Lines are flushed and fsync'd as they are written, so a
-scheduler killed at any instant leaves a valid prefix: at worst the last
-line is truncated, and :meth:`TrialJournal.read` drops it.  On
-``resume=True`` the scheduler replays the journal — completed trials are
-*told* straight back to the strategy without re-executing, which restarts
-the search exactly where it left off.
+format version); every following line is one record:
+
+* ``kind="trial"``    — a completed trial with its result (the only
+  record resume replays; everything else is derived observability data);
+* ``kind="timeline"`` — the trial's per-epoch metric curves and events
+  (:class:`repro.runs.MetricTimeline`), written right after its trial
+  line;
+* ``kind="footer"``   — run accounting appended when the scheduler
+  closes: executed/replayed/failed counts, worker deaths, and the
+  stopper verdict that ended the run (if any).  A resumed run appends a
+  fresh footer; readers keep the last one.
+
+Lines are flushed and fsync'd as they are written, so a scheduler killed
+at any instant leaves a valid prefix: at worst the last line is
+truncated, and the readers drop it.  On ``resume=True`` the scheduler
+replays the journal — completed trials are *told* straight back to the
+strategy without re-executing, which restarts the search exactly where
+it left off.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 #: bump when the journal line layout changes incompatibly
 JOURNAL_FORMAT_VERSION = 1
+
+
+@dataclass
+class JournalContents:
+    """Everything a journal holds, parsed — the run registry's raw feed.
+
+    ``timelines`` is keyed by trial id; ``footer`` is the *last* footer
+    record (a resumed run appends one per session).  Journals written
+    before timelines/footers existed parse with those fields empty.
+    """
+
+    header: Optional[Dict[str, Any]] = None
+    trials: List[Dict[str, Any]] = field(default_factory=list)
+    timelines: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    footer: Optional[Dict[str, Any]] = None
 
 
 class TrialJournal:
@@ -67,6 +94,22 @@ class TrialJournal:
         self._write_line({"kind": "trial", "trial": trial_dict,
                           "result": result_dict})
 
+    def append_timeline(self, timeline_dict: Dict[str, Any]) -> None:
+        """Journal one trial's metric timeline (curves + events).
+
+        Derived data: resume never replays timelines, so a torn or
+        missing timeline line costs one trial's curves, never the run.
+        """
+        if self._handle is None:
+            raise ValueError("journal is not open")
+        self._write_line({"kind": "timeline", "timeline": timeline_dict})
+
+    def append_footer(self, footer_dict: Dict[str, Any]) -> None:
+        """Journal the run accounting (stats, worker deaths, stop verdict)."""
+        if self._handle is None:
+            raise ValueError("journal is not open")
+        self._write_line({"kind": "footer", "footer": footer_dict})
+
     def _write_line(self, payload: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(payload) + "\n")
         self._handle.flush()
@@ -91,11 +134,22 @@ class TrialJournal:
         resuming from a journal whose identity can't be checked would
         silently mix runs.
         """
+        contents = cls.read_all(path)
+        return contents.header, contents.trials
+
+    @classmethod
+    def read_all(cls, path) -> JournalContents:
+        """Parse every record kind; tolerates a torn last line.
+
+        The observability entry point: returns trials *plus* per-trial
+        timelines and the final footer.  The same tolerance rules as
+        :meth:`read` apply — unknown/torn lines after the header are
+        skipped, a malformed header raises.
+        """
         path = Path(path)
+        contents = JournalContents()
         if not path.exists():
-            return None, []
-        header: Optional[Dict[str, Any]] = None
-        entries: List[Dict[str, Any]] = []
+            return contents
         with open(path, "r", encoding="utf-8") as handle:
             for index, line in enumerate(handle):
                 line = line.strip()
@@ -109,20 +163,28 @@ class TrialJournal:
                             f"{path} is not a trial journal "
                             f"(unparsable header line)")
                     continue  # torn tail line from a kill mid-write
+                kind = payload.get("kind")
                 if index == 0:
-                    if payload.get("kind") != "header":
+                    if kind != "header":
                         raise ValueError(
                             f"{path} is not a trial journal "
-                            f"(first line kind={payload.get('kind')!r})")
+                            f"(first line kind={kind!r})")
                     version = payload.get("format_version")
                     if version != JOURNAL_FORMAT_VERSION:
                         raise ValueError(
                             f"{path} has journal format {version!r}; "
                             f"this build reads {JOURNAL_FORMAT_VERSION}")
-                    header = payload
-                elif payload.get("kind") == "trial":
-                    entries.append(payload)
-        return header, entries
+                    contents.header = payload
+                elif kind == "trial":
+                    contents.trials.append(payload)
+                elif kind == "timeline":
+                    timeline = payload.get("timeline") or {}
+                    if "trial_id" in timeline:
+                        contents.timelines[int(timeline["trial_id"])] = \
+                            timeline
+                elif kind == "footer":
+                    contents.footer = payload.get("footer") or {}
+        return contents
 
 
 def validate_fingerprint(header: Dict[str, Any],
@@ -137,4 +199,5 @@ def validate_fingerprint(header: Dict[str, Any],
             f"  current:  {json.dumps(fingerprint, sort_keys=True)[:400]}")
 
 
-__all__ = ["JOURNAL_FORMAT_VERSION", "TrialJournal", "validate_fingerprint"]
+__all__ = ["JOURNAL_FORMAT_VERSION", "JournalContents", "TrialJournal",
+           "validate_fingerprint"]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from .journal import TrialJournal, validate_fingerprint
+from .stoppers import TrialStopper
 from .strategies import Strategy
 from .task import TuneTask
 from .trial import Trial, TrialResult, leaderboard_key
@@ -35,10 +36,16 @@ from .worker import execute_trial
 class TuneStats:
     """Execution accounting — the resume tests assert on these."""
 
-    executed: int = 0   #: trials actually run this session
-    replayed: int = 0   #: trials served from the journal
-    failed: int = 0     #: trials that returned a failed result
-    batches: int = 0    #: ask/tell rounds driven
+    executed: int = 0       #: trials actually run this session
+    replayed: int = 0       #: trials served from the journal
+    failed: int = 0         #: trials that returned a failed result
+    batches: int = 0        #: ask/tell rounds driven
+    worker_deaths: int = 0  #: worker processes lost (OOM kill, segfault)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"executed": self.executed, "replayed": self.replayed,
+                "failed": self.failed, "batches": self.batches,
+                "worker_deaths": self.worker_deaths}
 
 
 @dataclass
@@ -50,6 +57,8 @@ class TuneReport:
     task: TuneTask
     strategy_fingerprint: Dict[str, Any] = field(default_factory=dict)
     journal_path: Optional[str] = None
+    #: ``{"trial_id", "reason", "stopper"}`` when a stopper ended the run
+    stopped: Optional[Dict[str, Any]] = None
 
     def leaderboard(self, k: Optional[int] = None) -> List[TrialResult]:
         """Completed trials, best score first (deterministic tie-break)."""
@@ -76,7 +85,9 @@ class TrialScheduler:
     def __init__(self, task: TuneTask, strategy: Strategy,
                  workers: int = 0, journal: Optional[str] = None,
                  resume: bool = False,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 stopper: Optional[TrialStopper] = None,
+                 timelines: bool = True) -> None:
         self.task = task
         self.strategy = strategy
         self.workers = max(0, int(workers))
@@ -87,13 +98,22 @@ class TrialScheduler:
                           multiprocessing.get_all_start_methods()
                           else "spawn")
         self.mp_context = mp_context
+        self.stopper = stopper
+        self.timelines = bool(timelines)
         self.stats = TuneStats()
         self._pool_broken = False
 
     # ------------------------------------------------------------------
     def fingerprint(self) -> Dict[str, Any]:
-        return _normalize({"task": self.task.fingerprint(),
-                           "strategy": self.strategy.fingerprint()})
+        payload: Dict[str, Any] = {"task": self.task.fingerprint(),
+                                   "strategy": self.strategy.fingerprint()}
+        if self.stopper is not None:
+            # a changed stop rule changes the trial stream, so it must
+            # invalidate resume exactly like a changed strategy would;
+            # stopper-less runs keep the original two-key layout so old
+            # journals stay resumable
+            payload["stopper"] = self.stopper.fingerprint()
+        return _normalize(payload)
 
     # ------------------------------------------------------------------
     def _load_replay(self) -> Dict[int, Dict[str, Any]]:
@@ -140,12 +160,18 @@ class TrialScheduler:
         payloads: Dict[int, Dict] = {}
 
         def record(trial: Trial, payload: Dict) -> None:
+            # the timeline is derived observability data: it rides next
+            # to the result over the mp pipe but is journaled as its own
+            # record kind, never inside the trial line resume replays
+            timeline = payload.pop("timeline", None)
             payloads[int(payload["trial_id"])] = payload
             # worker deaths are transient infrastructure failures, not
             # evaluation outcomes — keep them out of the journal so a
             # resume re-executes them instead of replaying the failure
             if journal is not None and payload.get("status") != "worker_died":
                 journal.append_trial(trial.to_dict(), payload)
+                if timeline is not None and self.timelines:
+                    journal.append_timeline(timeline)
 
         if pool is None:
             for trial in pending:
@@ -164,6 +190,7 @@ class TrialScheduler:
                     # failed trial and let run() rebuild the pool, instead
                     # of aborting the whole search
                     self._pool_broken = True
+                    self.stats.worker_deaths += 1
                     payload = {
                         "trial_id": int(trial.trial_id), "score": None,
                         "seed": int(trial.seed), "rung": int(trial.rung),
@@ -185,8 +212,9 @@ class TrialScheduler:
 
         pool: Optional[ProcessPoolExecutor] = None
         results: List[TrialResult] = []
+        stopped: Optional[Dict[str, Any]] = None
         try:
-            while True:
+            while stopped is None:
                 batch = self.strategy.ask()
                 if not batch:
                     break
@@ -214,16 +242,32 @@ class TrialScheduler:
                         self.stats.failed += 1
                     self.strategy.tell(trial, result)
                     results.append(result)
+                    # the stopper sees the identical trial-id-ordered
+                    # stream strategies do, so its verdict is a pure
+                    # function of the told history — the whole batch is
+                    # still told (it already ran), then the run ends
+                    if self.stopper is not None and stopped is None:
+                        reason = self.stopper.update(trial, result)
+                        if reason is not None:
+                            stopped = {"trial_id": int(trial.trial_id),
+                                       "reason": str(reason),
+                                       "stopper": self.stopper.name}
         finally:
             if pool is not None:
                 pool.shutdown()
             if journal is not None:
+                # the footer is what `repro runs` surfaces: session
+                # accounting (incl. worker deaths, once swallowed by the
+                # pool loop) and the stopper verdict that ended the run
+                journal.append_footer({"stats": self.stats.to_dict(),
+                                       "stopped": stopped})
                 journal.close()
 
         return TuneReport(results=results, stats=self.stats, task=self.task,
                           strategy_fingerprint=self.strategy.fingerprint(),
                           journal_path=(str(self.journal_path)
-                                        if self.journal_path else None))
+                                        if self.journal_path else None),
+                          stopped=stopped)
 
 
 __all__ = ["TrialScheduler", "TuneReport", "TuneStats"]

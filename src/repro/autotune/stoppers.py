@@ -1,0 +1,204 @@
+"""Composable trial stoppers — search-level early stopping for any strategy.
+
+The per-trial budget already has early stopping (``TrainConfig.patience``
+inside :func:`~repro.core.evaluate_architecture`); what the paper's
+convergence story (Fig. 4) motivates *across* trials is a scheduler-level
+stop: "the search has plateaued, stop paying for more trials".  A
+:class:`TrialStopper` watches the scheduler's tell stream and decides
+when the whole run should end.
+
+Determinism is inherited, not earned: the scheduler feeds stoppers the
+same **trial-id-ordered** result stream strategies see, so a stopper's
+verdict depends only on ``(its configuration, told history)`` — never on
+worker count, completion order or wall clock.  Inline, parallel and
+journal-resumed runs therefore stop at the identical trial and report
+identical leaderboards.  (For the same reason stoppers must not consult
+time or RNGs — see :class:`TrialStopper.update`.)
+
+Stoppers compose with ``|`` (stop when either fires) and ``&`` (stop
+once both have fired), the deep-kernel ``EarlyStop`` combinator idiom:
+
+    stopper = ProgressThresholdStopper(patience=6) | \
+        TargetScoreStopper(0.9)
+
+Every stopper is journaled into the run fingerprint (resume refuses a
+journal recorded under a different stopper — a changed stop rule changes
+the trial stream) and its firing verdict lands in the journal footer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .trial import Trial, TrialResult
+
+
+class TrialStopper:
+    """Base search-level stopper; subclasses implement :meth:`update`.
+
+    :meth:`update` digests one told ``(trial, result)`` pair — called in
+    trial-id order, exactly like ``Strategy.tell`` — and returns a human
+    -readable reason string when the search should stop, else ``None``.
+    Implementations must be pure functions of their configuration and
+    the told history: no clocks, no RNGs, no filesystem.
+    """
+
+    name: str = "base"
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        raise NotImplementedError
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """JSON-able identity (journal header / resume validation)."""
+        return {"stopper": self.name, **self.params()}
+
+    def params(self) -> Dict[str, Any]:
+        return {}
+
+    # ------------------------------------------------------------------
+    def __or__(self, other: "TrialStopper") -> "AnyStopper":
+        return AnyStopper(self, other)
+
+    def __and__(self, other: "TrialStopper") -> "AllStopper":
+        return AllStopper(self, other)
+
+
+class ProgressThresholdStopper(TrialStopper):
+    """Stop once ``patience`` consecutive trials fail to make progress.
+
+    The scheduler-level twin of the trainer's patience rule: track the
+    best score seen so far; every told trial whose score does not beat
+    it by *more than* ``min_delta`` burns one unit of patience, any
+    sufficient improvement refills it.  Failed trials burn patience too
+    — a search stuck producing failures is not progressing.
+    """
+
+    name = "progress"
+
+    def __init__(self, patience: int = 8, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        if min_delta < 0:
+            raise ValueError("min_delta must be >= 0")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best_score: Optional[float] = None
+        self.stale = 0
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        score = None if result.failed else float(result.score)
+        if score is not None and (self.best_score is None
+                                  or score - self.best_score
+                                  > self.min_delta):
+            self.best_score = score
+            self.stale = 0
+            return None
+        if score is not None and (self.best_score is None
+                                  or score > self.best_score):
+            self.best_score = score  # improved, but below min_delta
+        self.stale += 1
+        if self.stale >= self.patience:
+            return (f"no improvement >= {self.min_delta} over the last "
+                    f"{self.stale} trials (best {self.best_score})")
+        return None
+
+    def params(self) -> Dict[str, Any]:
+        return {"patience": self.patience, "min_delta": self.min_delta}
+
+
+class TargetScoreStopper(TrialStopper):
+    """Stop as soon as any completed trial reaches ``target`` score."""
+
+    name = "target_score"
+
+    def __init__(self, target: float) -> None:
+        self.target = float(target)
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        if not result.failed and float(result.score) >= self.target:
+            return (f"trial {trial.trial_id} reached score "
+                    f"{float(result.score):.4f} >= target {self.target}")
+        return None
+
+    def params(self) -> Dict[str, Any]:
+        return {"target": self.target}
+
+
+class MaxTrialsStopper(TrialStopper):
+    """Stop after ``limit`` told trials (completed, failed or replayed)."""
+
+    name = "max_trials"
+
+    def __init__(self, limit: int) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self.limit = int(limit)
+        self.seen = 0
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        self.seen += 1
+        if self.seen >= self.limit:
+            return f"trial limit {self.limit} reached"
+        return None
+
+    def params(self) -> Dict[str, Any]:
+        return {"limit": self.limit}
+
+
+class _CompositeStopper(TrialStopper):
+    """Shared plumbing for ``|`` / ``&`` compositions (flattens nesting)."""
+
+    def __init__(self, *stoppers: TrialStopper) -> None:
+        flat: List[TrialStopper] = []
+        for stopper in stoppers:
+            if isinstance(stopper, type(self)):
+                flat.extend(stopper.stoppers)
+            else:
+                flat.append(stopper)
+        if len(flat) < 2:
+            raise ValueError("composite stoppers need >= 2 members")
+        self.stoppers = flat
+
+    def params(self) -> Dict[str, Any]:
+        return {"members": [s.fingerprint() for s in self.stoppers]}
+
+
+class AnyStopper(_CompositeStopper):
+    """Fires when *any* member fires this update (``a | b``)."""
+
+    name = "any"
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        # every member sees every result, even after one has fired
+        reasons = [s.update(trial, result) for s in self.stoppers]
+        fired = [r for r in reasons if r is not None]
+        return fired[0] if fired else None
+
+
+class AllStopper(_CompositeStopper):
+    """Fires once *every* member has fired at some point (``a & b``)."""
+
+    name = "all"
+
+    def __init__(self, *stoppers: TrialStopper) -> None:
+        super().__init__(*stoppers)
+        self._fired: List[Optional[str]] = [None] * len(self.stoppers)
+
+    def update(self, trial: Trial, result: TrialResult) -> Optional[str]:
+        for index, stopper in enumerate(self.stoppers):
+            reason = stopper.update(trial, result)
+            if reason is not None and self._fired[index] is None:
+                self._fired[index] = reason
+        if all(reason is not None for reason in self._fired):
+            return "; ".join(r for r in self._fired if r)
+        return None
+
+
+__all__ = [
+    "TrialStopper",
+    "ProgressThresholdStopper",
+    "TargetScoreStopper",
+    "MaxTrialsStopper",
+    "AnyStopper",
+    "AllStopper",
+]

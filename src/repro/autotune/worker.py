@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core import AutoACConfig, evaluate_architecture
 from ..datasets import HeteroDataset
+from ..runs.timeline import timeline_from_evaluation
 from ..training import set_seed
 from .task import TuneTask, slot_labels
 from .trial import Trial
@@ -109,6 +110,10 @@ def execute_trial(task: TuneTask, trial: Trial) -> Dict[str, Any]:
                 }
         else:
             payload["assignment"] = None
+        # the timeline rides next to the result through the mp pipe; the
+        # scheduler pops it and journals it as its own record kind
+        payload["timeline"] = timeline_from_evaluation(trial,
+                                                       evaluation).to_dict()
         return payload
     except Exception as exc:  # noqa: BLE001 — a trial must not kill the run
         return {

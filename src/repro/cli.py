@@ -13,6 +13,8 @@ Commands
 ``profile``    run a small search under the op-level profiler
 ``tune``       trial-based architecture search on the parallel scheduler
 ``strategies`` list the registered tuning strategies
+``report``     render a trial journal to a self-contained HTML report
+``runs``       list / compare / diff registered runs (see docs/OBSERVABILITY.md)
 """
 
 from __future__ import annotations
@@ -188,6 +190,20 @@ def _cmd_strategies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_stopper(args: argparse.Namespace):
+    """Compose the tune stopper from CLI flags (None when none are set)."""
+    from .autotune import ProgressThresholdStopper, TargetScoreStopper
+
+    stopper = None
+    if args.stop_patience:
+        stopper = ProgressThresholdStopper(patience=args.stop_patience,
+                                           min_delta=args.stop_min_delta)
+    if args.target_score is not None:
+        target = TargetScoreStopper(args.target_score)
+        stopper = target if stopper is None else stopper | target
+    return stopper
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     from .autotune import (
         DatasetRef,
@@ -239,11 +255,17 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                               max_budget=task.max_budget, seed=args.seed,
                               **kwargs)
     scheduler = TrialScheduler(task, strategy, workers=args.workers,
-                               journal=args.journal, resume=args.resume)
+                               journal=args.journal, resume=args.resume,
+                               stopper=_build_stopper(args))
     report = scheduler.run()
     stats = report.stats
     print(f"{args.strategy}: {stats.executed} trials run, "
-          f"{stats.replayed} replayed from journal, {stats.failed} failed")
+          f"{stats.replayed} replayed from journal, {stats.failed} failed"
+          + (f", {stats.worker_deaths} worker deaths"
+             if stats.worker_deaths else ""))
+    if report.stopped:
+        print(f"stopped early by {report.stopped['stopper']} at trial "
+              f"{report.stopped['trial_id']}: {report.stopped['reason']}")
     print(f"{'rank':>4s} {'trial':>5s} {'rung':>4s} {'budget':>6s} "
           f"{'val-F1':>8s} {'test-F1':>8s}")
     for rank, row in enumerate(report.leaderboard(args.top), start=1):
@@ -254,6 +276,53 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         bundle = export_best(report, path=args.out)
         print(f"best trial retrained and exported to {args.out} "
               f"(macro-F1 {bundle.metrics['macro_f1']:.4f})")
+    if args.runs_dir and args.journal:
+        from .runs import RunRegistry
+
+        record = RunRegistry(args.runs_dir).ingest(args.journal,
+                                                   overwrite=True)
+        print(f"run registered as {record.name!r} under {args.runs_dir}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .runs import write_report
+
+    out = write_report(args.journal, out=args.out, top=args.top)
+    print(f"report written to {out}")
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from .experiments.reporting import render_run_diff, render_runs_index
+    from .runs import RunRegistry
+
+    registry = RunRegistry(args.dir)
+    if args.action == "list":
+        print(render_runs_index(registry.index()))
+        return 0
+    if args.action == "ingest":
+        if not args.runs:
+            print("runs ingest needs a journal path", file=sys.stderr)
+            return 2
+        record = registry.ingest(args.runs[0], name=args.name,
+                                 overwrite=args.overwrite)
+        print(f"run registered as {record.name!r} under {args.dir}/")
+        return 0
+    # compare / diff take exactly two runs (registered names or paths)
+    if len(args.runs) != 2:
+        print(f"runs {args.action} needs exactly two runs "
+              f"(registered: {', '.join(registry.names()) or 'none'})",
+              file=sys.stderr)
+        return 2
+    if args.action == "diff":
+        rows = registry.diff(args.runs[0], args.runs[1])
+        if not rows:
+            print("identical setups")
+        for row in rows:
+            print(f"{row['path']:<32s} {row['a']!r} -> {row['b']!r}")
+        return 0
+    print(render_run_diff(registry.compare(args.runs[0], args.runs[1])))
     return 0
 
 
@@ -431,11 +500,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="leaderboard rows to print")
     p_tune.add_argument("--out", default=None,
                         help="export the winner as a ModelBundle (.npz)")
+    p_tune.add_argument("--stop-patience", type=int, default=0,
+                        help="stop after N consecutive non-improving "
+                             "trials (0 → off)")
+    p_tune.add_argument("--stop-min-delta", type=float, default=0.0,
+                        help="score gain that counts as improvement")
+    p_tune.add_argument("--target-score", type=float, default=None,
+                        help="stop once any trial reaches this val score")
+    p_tune.add_argument("--runs-dir", default=None,
+                        help="also register the finished journal in this "
+                             "run registry directory")
     p_tune.set_defaults(func=_cmd_tune)
 
     p_strategies = sub.add_parser(
         "strategies", help="list registered tuning strategies")
     p_strategies.set_defaults(func=_cmd_strategies)
+
+    p_report = sub.add_parser(
+        "report", help="render a trial journal to a static HTML report")
+    p_report.add_argument("journal",
+                          help="a TrialJournal .jsonl (any format vintage)")
+    p_report.add_argument("--out", default=None,
+                          help="output path (default: journal with .html)")
+    p_report.add_argument("--top", type=int, default=10,
+                          help="leaderboard rows / curves to include")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_runs = sub.add_parser(
+        "runs", help="list / ingest / compare / diff registered runs")
+    p_runs.add_argument("action", nargs="?", default="list",
+                        choices=["list", "ingest", "compare", "diff"])
+    p_runs.add_argument("runs", nargs="*",
+                        help="run names or journal paths (two for "
+                             "compare/diff, one for ingest)")
+    p_runs.add_argument("--dir", default="runs",
+                        help="run registry directory")
+    p_runs.add_argument("--name", default=None,
+                        help="ingest: register under this name")
+    p_runs.add_argument("--overwrite", action="store_true",
+                        help="ingest: replace an existing run")
+    p_runs.set_defaults(func=_cmd_runs)
 
     p_serve = sub.add_parser("serve", help="serve a bundle over HTTP")
     p_serve.add_argument("--bundle", required=True,

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -66,6 +66,9 @@ class ArchitectureEvaluation:
     op_names: Optional[list] = None
     search: Optional[SearchResult] = None        #: set for one-shot trials
     artifacts: Optional[RetrainArtifacts] = None  #: set with keep_artifacts
+    #: per-epoch retrain curves (train_loss, val_macro_f1) — the timeline
+    #: layer journals these next to the trial result
+    history: Dict[str, List[float]] = field(default_factory=dict)
 
     def op_distribution(self) -> Dict[str, float]:
         """Fraction of V⁻ nodes assigned to each op (mirrors SearchResult)."""
@@ -155,6 +158,8 @@ def evaluate_architecture(
         op_names=op_names,
         search=search_result,
         artifacts=artifacts if keep_artifacts else None,
+        history={name: [float(v) for v in values]
+                 for name, values in result.history.items()},
     )
 
 

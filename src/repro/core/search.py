@@ -30,6 +30,7 @@ from ..graph.sampler import NeighborSampler
 from ..models import build_model
 from ..perf.profiles import current_profile
 from ..tensor import Adam, Tensor, gather_rows, no_grad
+from ..training.metrics import alpha_entropy
 from .adapters import TaskAdapter
 from .alpha import CompletionParameters, MixtureParameters
 from .clustering import EMClusterAssigner, ModularityClusteringHead, modularity_loss
@@ -413,6 +414,7 @@ class AutoACSearcher:
         cfg = self.config
         history: Dict[str, List[float]] = {
             "val_loss": [], "train_loss": [], "lgmoc": [], "val_score": [],
+            "alpha_entropy": [],
         }
         best_score = -np.inf
         best_alpha = None
@@ -440,6 +442,11 @@ class AutoACSearcher:
             with self._candidate_mode("detached"):
                 score = self.adapter.val_score(self.model, self.features)
             history["val_score"].append(score)
+            # pure read of the current parameters — no RNG, no training
+            # effect — so timelines never perturb search determinism
+            history["alpha_entropy"].append(alpha_entropy(
+                self.alpha.values if cfg.discrete
+                else self.mixture.logits.data))
             if score >= best_score:
                 # on exact ties keep the *latest* alpha — it has seen more
                 # search steps (validation scores plateau early on small

@@ -194,6 +194,53 @@ def render_figure10_11(result: Dict) -> str:
     return "\n".join(lines)
 
 
+def render_runs_index(rows: Sequence[Dict]) -> str:
+    """The ``repro runs list`` table: one line per registered run.
+
+    ``rows`` are :meth:`repro.runs.RunRecord.summary` dicts.
+    """
+    if not rows:
+        return "no runs registered"
+    lines = [f"{'name':<32s} {'strategy':>10s} {'trials':>6s} "
+             f"{'failed':>6s} {'deaths':>6s} {'best':>8s} {'stopped':<s}"]
+    for row in rows:
+        best = ("       —" if row["best_score"] is None
+                else f"{row['best_score']:8.4f}")
+        lines.append(f"{row['name']:<32s} {row['strategy']:>10s} "
+                     f"{row['trials']:>6d} {row['failed']:>6d} "
+                     f"{row['worker_deaths']:>6d} {best} "
+                     f"{row['stopped'] or '—'}")
+    return "\n".join(lines)
+
+
+def render_run_diff(diff) -> str:
+    """The ``repro runs compare`` report (a :class:`repro.runs.RunDiff`)."""
+    lines = [f"=== {diff.a.name} vs {diff.b.name} ==="]
+    if diff.same_setup:
+        lines.append("configs: identical setups")
+    else:
+        lines.append("configs:")
+        for row in diff.config:
+            lines.append(f"  {row['path']:<32s} {row['a']!r:>16s} -> "
+                         f"{row['b']!r}")
+    best_a, best_b = diff.a.best, diff.b.best
+    for label, best in ((diff.a.name, best_a), (diff.b.name, best_b)):
+        if best is None:
+            lines.append(f"best [{label}]: no completed trials")
+        else:
+            lines.append(f"best [{label}]: trial {best.trial_id} "
+                         f"score {float(best.score):.4f}")
+    if diff.best_delta is not None:
+        lines.append(f"best delta (b - a): {diff.best_delta:+.4f}")
+    if diff.shared_trials:
+        lines.append(f"shared trials ({len(diff.shared_trials)}):")
+        lines.append(f"  {'trial':>5s} {'a':>8s} {'b':>8s} {'delta':>8s}")
+        for row in diff.shared_trials:
+            lines.append(f"  {row['trial_id']:>5d} {row['a']:>8.4f} "
+                         f"{row['b']:>8.4f} {row['delta']:>+8.4f}")
+    return "\n".join(lines)
+
+
 def to_json(result: Dict) -> str:
     """JSON dump with numpy arrays/scalars converted."""
     def convert(obj):
@@ -220,5 +267,7 @@ __all__ = [
     "render_sweep",
     "render_figure10_11",
     "render_bar_chart",
+    "render_runs_index",
+    "render_run_diff",
     "to_json",
 ]

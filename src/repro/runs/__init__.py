@@ -1,0 +1,40 @@
+"""``repro.runs`` — the observability layer over tuning runs.
+
+The autotune scheduler journals every completed trial; this package is
+everything that happens *after* (or alongside) that journaling:
+
+* :class:`MetricTimeline` — per-trial metric curves (per-epoch loss /
+  validation macro-F1, bi-level search traces, darts alpha entropy) plus
+  discrete events (ASHA rung decisions, stopper verdicts), journaled
+  line-by-line next to each trial under the same fsync'd JSONL
+  discipline;
+* :class:`RunRegistry` — fingerprints and indexes completed run journals
+  under a runs directory, with programmatic :meth:`RunRegistry.compare`
+  / :meth:`RunRegistry.diff` across searches (leaderboard deltas,
+  per-trial curve overlays, config diffs);
+* :func:`render_report` / :func:`write_report` — a static,
+  dependency-free HTML report (inline SVG curves, leaderboard, strategy
+  summary, run accounting) renderable from any trial journal, including
+  ones written before timelines existed.
+
+See ``docs/OBSERVABILITY.md`` for the journal layout, registry
+directory structure and report walkthrough.
+"""
+
+from .registry import RunDiff, RunRecord, RunRegistry, fingerprint_diff
+from .report import render_report, write_report
+from .timeline import (
+    MetricTimeline,
+    timeline_from_evaluation,
+)
+
+__all__ = [
+    "MetricTimeline",
+    "timeline_from_evaluation",
+    "RunRecord",
+    "RunRegistry",
+    "RunDiff",
+    "fingerprint_diff",
+    "render_report",
+    "write_report",
+]

@@ -1,0 +1,329 @@
+"""Static HTML search reports — one self-contained file per run.
+
+:func:`render_report` turns any trial journal (old or new format) into a
+dependency-free HTML page: strategy/task summary, leaderboard, the ASHA
+rung ladder, per-trial metric curves as **inline SVG**, and the run
+accounting footer (worker deaths, stopper verdict).  No JavaScript, no
+external assets, no plotting stack — the file opens anywhere, forever,
+which is the point of an observability artifact.
+
+Rendering is a pure function of the journal bytes: iteration orders are
+sorted, floats are formatted through fixed-width helpers and nothing
+reads the clock — the golden-file test asserts byte-identical output
+across runs.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .registry import RunRecord
+from .timeline import MetricTimeline
+
+#: fixed categorical palette, cycled by series index (determinism: the
+#: color of a series depends only on its sorted position)
+PALETTE = [
+    "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed",
+    "#0891b2", "#be185d", "#4d7c0f", "#475569", "#9333ea",
+    "#ea580c", "#0d9488",
+]
+
+#: most curves plotted per metric (top leaderboard trials first); the
+#: cap is stated in the report so truncation is never silent
+MAX_CURVES = 12
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1f2937; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #e5e7eb;
+     padding-bottom: .4rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .6rem 0; font-size: .85rem; }
+th, td { border: 1px solid #e5e7eb; padding: .25rem .6rem;
+         text-align: right; }
+th { background: #f9fafb; }
+td.l, th.l { text-align: left; }
+.best { background: #ecfdf5; font-weight: 600; }
+.muted { color: #6b7280; font-size: .85rem; }
+.legend span { margin-right: 1rem; font-size: .8rem; }
+.swatch { display: inline-block; width: .7rem; height: .7rem;
+          margin-right: .3rem; border-radius: 2px; }
+svg { background: #fafafa; border: 1px solid #e5e7eb; }
+code { background: #f3f4f6; padding: 0 .25rem; }
+"""
+
+
+def _fmt(value: Any, digits: int = 4) -> str:
+    """Deterministic cell formatting (None → em dash)."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+           left_cols: int = 1,
+           highlight_first_row: bool = False) -> List[str]:
+    left = ' class="l"'
+    out = ["<table>", "<tr>" + "".join(
+        f"<th{left if i < left_cols else ''}>{_esc(h)}</th>"
+        for i, h in enumerate(headers)) + "</tr>"]
+    for index, row in enumerate(rows):
+        klass = ' class="best"' if highlight_first_row and index == 0 \
+            else ""
+        cells = "".join(
+            f"<td{left if i < left_cols else ''}>"
+            f"{_esc(_fmt(cell))}</td>"
+            for i, cell in enumerate(row))
+        out.append(f"<tr{klass}>{cells}</tr>")
+    out.append("</table>")
+    return out
+
+
+# ----------------------------------------------------------------------
+# inline SVG line charts
+# ----------------------------------------------------------------------
+
+def _svg_chart(series: List[Tuple[str, List[float]]],
+               width: int = 640, height: int = 220) -> List[str]:
+    """One inline SVG overlaying the given ``(label, curve)`` series.
+
+    Minimal on purpose: a plot area, min/max tick labels on both axes,
+    one ``<polyline>`` per series, and an HTML legend underneath (text
+    in SVG is brittle across viewers; the legend is plain markup).
+    """
+    pad_l, pad_r, pad_t, pad_b = 46.0, 10.0, 10.0, 22.0
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    points = [v for _, curve in series for v in curve]
+    if not points:
+        return ["<p class=\"muted\">no data</p>"]
+    lo, hi = min(points), max(points)
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5  # flat curve: center it
+    max_len = max(len(curve) for _, curve in series)
+    span_x = max(max_len - 1, 1)
+
+    def x_of(i: int) -> float:
+        return pad_l + plot_w * (i / span_x)
+
+    def y_of(v: float) -> float:
+        return pad_t + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    out = [f"<svg viewBox=\"0 0 {width} {height}\" width=\"{width}\" "
+           f"height=\"{height}\" xmlns=\"http://www.w3.org/2000/svg\">"]
+    # frame + axis extremes
+    out.append(f"<rect x=\"{pad_l}\" y=\"{pad_t}\" width=\"{plot_w}\" "
+               f"height=\"{plot_h}\" fill=\"#ffffff\" stroke=\"#d1d5db\"/>")
+    out.append(f"<text x=\"{pad_l - 6}\" y=\"{pad_t + 10}\" "
+               f"text-anchor=\"end\" font-size=\"11\" fill=\"#6b7280\">"
+               f"{_fmt(hi)}</text>")
+    out.append(f"<text x=\"{pad_l - 6}\" y=\"{pad_t + plot_h}\" "
+               f"text-anchor=\"end\" font-size=\"11\" fill=\"#6b7280\">"
+               f"{_fmt(lo)}</text>")
+    out.append(f"<text x=\"{pad_l}\" y=\"{height - 6}\" font-size=\"11\" "
+               f"fill=\"#6b7280\">epoch 1</text>")
+    out.append(f"<text x=\"{width - pad_r}\" y=\"{height - 6}\" "
+               f"text-anchor=\"end\" font-size=\"11\" fill=\"#6b7280\">"
+               f"{max_len}</text>")
+    for index, (_, curve) in enumerate(series):
+        color = PALETTE[index % len(PALETTE)]
+        if len(curve) == 1:
+            out.append(f"<circle cx=\"{x_of(0):.2f}\" "
+                       f"cy=\"{y_of(curve[0]):.2f}\" r=\"3\" "
+                       f"fill=\"{color}\"/>")
+            continue
+        coords = " ".join(f"{x_of(i):.2f},{y_of(v):.2f}"
+                          for i, v in enumerate(curve))
+        out.append(f"<polyline points=\"{coords}\" fill=\"none\" "
+                   f"stroke=\"{color}\" stroke-width=\"1.6\"/>")
+    out.append("</svg>")
+    legend = "".join(
+        f"<span><span class=\"swatch\" style=\"background:"
+        f"{PALETTE[i % len(PALETTE)]}\"></span>{_esc(label)}</span>"
+        for i, (label, _) in enumerate(series))
+    out.append(f"<div class=\"legend\">{legend}</div>")
+    return out
+
+
+# ----------------------------------------------------------------------
+# report sections
+# ----------------------------------------------------------------------
+
+def _summary_rows(fingerprint: Dict[str, Any]) -> List[Tuple[str, str]]:
+    """Flatten the strategy/stopper/task identity into label→value rows."""
+    rows: List[Tuple[str, str]] = []
+    task = fingerprint.get("task") or {}
+    dataset = task.get("dataset") or {}
+    if dataset:
+        rows.append(("dataset", f"{dataset.get('name')} "
+                                f"({dataset.get('scale')}, "
+                                f"seed {dataset.get('seed')})"))
+    for key in ("model_name", "num_slots", "max_budget", "hidden_dim"):
+        if key in task:
+            rows.append((key, _fmt(task[key])))
+    strategy = fingerprint.get("strategy") or {}
+    for key in sorted(strategy):
+        rows.append((f"strategy.{key}", json.dumps(strategy[key])
+                     if isinstance(strategy[key], (dict, list))
+                     else _fmt(strategy[key])))
+    stopper = fingerprint.get("stopper")
+    if stopper:
+        rows.append(("stopper", json.dumps(stopper, sort_keys=True)))
+    return rows
+
+
+def _leaderboard_section(record: RunRecord, top: int) -> List[str]:
+    ranked = record.leaderboard()
+    out = [f"<h2>Leaderboard (top {min(top, len(ranked))} of "
+           f"{len(ranked)} completed)</h2>"]
+    if not ranked:
+        out.append("<p class=\"muted\">no completed trials</p>")
+        return out
+    rows = [(rank, r.trial_id, r.rung, r.budget_used,
+             float(r.score), r.macro_f1, r.micro_f1)
+            for rank, r in enumerate(ranked[:top], start=1)]
+    out.extend(_table(
+        ("rank", "trial", "rung", "epochs", "val macro-F1",
+         "test macro-F1", "test micro-F1"),
+        rows, left_cols=0, highlight_first_row=True))
+    return out
+
+
+def _rung_section(record: RunRecord) -> List[str]:
+    """The successive-halving ladder, from trial records + rung events."""
+    results = record.results()
+    if not any(r.rung > 0 for r in results):
+        return []
+    by_rung: Dict[int, List] = {}
+    for result in results:
+        by_rung.setdefault(int(result.rung), []).append(result)
+    out = ["<h2>Rung decisions</h2>"]
+    rows = []
+    for rung in sorted(by_rung):
+        members = sorted(by_rung[rung], key=lambda r: r.trial_id)
+        budgets = sorted({r.budget_used for r in members})
+        survivors = [r.trial_id for r in members if not r.failed]
+        parents = sorted({
+            event.get("parent_id")
+            for r in members
+            for event in ((record.timeline(r.trial_id) or
+                           MetricTimeline(r.trial_id)).events)
+            if event.get("kind") == "rung"
+            and event.get("parent_id") is not None})
+        rows.append((rung, len(members),
+                     "/".join(str(b) for b in budgets),
+                     ", ".join(str(t) for t in survivors) or "—",
+                     ", ".join(str(p) for p in parents) or "—"))
+    out.extend(_table(("rung", "trials", "epochs run", "trial ids",
+                       "promoted from"), rows, left_cols=0))
+    return out
+
+
+def _curves_section(record: RunRecord, top: int) -> List[str]:
+    timelines = {trial_id: MetricTimeline.from_dict(payload)
+                 for trial_id, payload in record.contents.timelines.items()}
+    out = ["<h2>Per-trial metric curves</h2>"]
+    if not timelines:
+        out.append("<p class=\"muted\">this journal carries no timeline "
+                   "records (written by a pre-timeline run) — re-run the "
+                   "search to capture per-epoch curves</p>")
+        return out
+    # plot the leaderboard's top trials first; never silently truncate
+    ranked_ids = [r.trial_id for r in record.leaderboard()]
+    ranked_ids += [t for t in sorted(timelines) if t not in ranked_ids]
+    chosen = [t for t in ranked_ids if t in timelines][:MAX_CURVES]
+    if len(timelines) > len(chosen):
+        out.append(f"<p class=\"muted\">showing the top {len(chosen)} "
+                   f"leaderboard trials of {len(timelines)} with "
+                   f"timelines</p>")
+    metrics = sorted({name for t in timelines.values() for name in t.curves})
+    for metric in metrics:
+        series = [(f"trial {trial_id}", timelines[trial_id].curves[metric])
+                  for trial_id in chosen
+                  if metric in timelines[trial_id].curves]
+        if not series:
+            continue
+        out.append(f"<h3><code>{_esc(metric)}</code></h3>")
+        out.extend(_svg_chart(series))
+    return out
+
+
+def _footer_section(record: RunRecord) -> List[str]:
+    footer = record.footer
+    out = ["<h2>Run accounting</h2>"]
+    if not footer:
+        out.append("<p class=\"muted\">no footer record (run predates "
+                   "footers, or the scheduler was killed before closing "
+                   "the journal)</p>")
+        return out
+    stats = footer.get("stats") or {}
+    rows = [(key, _fmt(stats[key])) for key in sorted(stats)]
+    out.extend(_table(("counter", "value"), rows, left_cols=1))
+    stopped = footer.get("stopped")
+    if stopped:
+        out.append(f"<p>stopped by <strong>{_esc(stopped.get('stopper'))}"
+                   f"</strong> at trial {_esc(stopped.get('trial_id'))}: "
+                   f"{_esc(stopped.get('reason'))}</p>")
+    else:
+        out.append("<p class=\"muted\">ran to strategy completion "
+                   "(no stopper verdict)</p>")
+    return out
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+
+def render_report(source, top: int = 10) -> str:
+    """Render one run journal (path or :class:`RunRecord`) to HTML."""
+    record = source if isinstance(source, RunRecord) \
+        else RunRecord.load(source)
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\"/>",
+        f"<title>repro run report — {_esc(record.name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Run report: {_esc(record.name)}</h1>",
+        f"<p class=\"muted\">strategy <strong>"
+        f"{_esc(record.strategy_name)}</strong> · fingerprint "
+        f"<code>{_esc(record.run_id)}</code> · "
+        f"{len(record.contents.trials)} journaled trials</p>",
+        "<h2>Run setup</h2>",
+    ]
+    parts.extend(_table(("field", "value"),
+                        _summary_rows(record.fingerprint), left_cols=1))
+    parts.extend(_leaderboard_section(record, top))
+    parts.extend(_rung_section(record))
+    parts.extend(_curves_section(record, top))
+    parts.extend(_footer_section(record))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report(source, out=None, top: int = 10) -> Path:
+    """Render and write the report; default output sits next to the journal.
+
+    ``repro report TUNE_journal.jsonl`` → ``TUNE_journal.html``.
+    """
+    record = source if isinstance(source, RunRecord) \
+        else RunRecord.load(source)
+    if out is None:
+        out = record.path.with_suffix(".html")
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_report(record, top=top), encoding="utf-8")
+    return out
+
+
+__all__ = ["render_report", "write_report", "PALETTE", "MAX_CURVES"]

@@ -1,0 +1,102 @@
+"""Per-trial metric timelines — the trajectory a final score came from.
+
+A :class:`MetricTimeline` carries what a :class:`~repro.autotune.
+TrialResult` deliberately drops: the *per-epoch* curves behind one
+evaluation (retrain loss, validation macro-F1, the bi-level search's
+train/val traces and alpha entropy for one-shot trials) plus discrete
+events (the ASHA rung a trial ran at, scheduler stopper verdicts).
+Those curves are exactly what AutoAC's empirical figures are made of —
+convergence (Fig. 4) and sensitivity trajectories (Figs. 8–11) — so
+journaling them per trial makes every such plot regenerable from a
+finished run instead of requiring a rerun.
+
+Timelines ride in the trial journal as their own ``kind="timeline"``
+JSONL records (written right after the trial's result line, same
+flush+fsync discipline).  They are *derived* data: resume never replays
+them into a strategy, old journals without them stay readable, and a
+torn timeline line costs one trial's curves, never the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..training.metrics import alpha_entropy
+
+
+@dataclass
+class MetricTimeline:
+    """The per-epoch curves and discrete events of one trial.
+
+    ``curves`` maps metric name → list of per-epoch floats (curves may
+    have different lengths: validation is only sampled every
+    ``eval_every`` epochs).  ``events`` is an ordered list of JSON-able
+    dicts, each with at least a ``"kind"`` key — e.g. the rung a trial
+    executed at or the stopper verdict that ended the run.
+    """
+
+    trial_id: int
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def add_curve(self, name: str, values) -> None:
+        """Record one metric curve (silently skips empty ones)."""
+        points = [float(v) for v in values]
+        if points:
+            self.curves[str(name)] = points
+
+    def add_event(self, kind: str, **payload: Any) -> None:
+        self.events.append({"kind": str(kind), **payload})
+
+    @property
+    def epochs(self) -> int:
+        """Length of the longest curve (0 for an event-only timeline)."""
+        return max((len(c) for c in self.curves.values()), default=0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trial_id": int(self.trial_id),
+            "curves": {name: [float(v) for v in values]
+                       for name, values in sorted(self.curves.items())},
+            "events": list(self.events),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricTimeline":
+        return cls(
+            trial_id=int(payload["trial_id"]),
+            curves={str(name): [float(v) for v in values]
+                    for name, values in (payload.get("curves") or {}).items()},
+            events=list(payload.get("events") or []),
+        )
+
+
+def timeline_from_evaluation(trial, evaluation) -> MetricTimeline:
+    """Build a trial's timeline from an :class:`ArchitectureEvaluation`.
+
+    Retrain curves are always present (``retrain/train_loss``,
+    ``retrain/val_macro_f1``); one-shot trials additionally carry the
+    bi-level search's traces (``search/...`` including the per-epoch
+    ``search/alpha_entropy``).  The rung event mirrors what ASHA decided
+    for this trial — budget, rung index and the promotion parent — so a
+    report can show the halving ladder without re-deriving it.
+    """
+    timeline = MetricTimeline(trial_id=int(trial.trial_id))
+    for name, values in (evaluation.history or {}).items():
+        timeline.add_curve(f"retrain/{name}", values)
+    if evaluation.search is not None:
+        for name, values in (evaluation.search.history or {}).items():
+            timeline.add_curve(f"search/{name}", values)
+    timeline.add_event(
+        "rung",
+        rung=int(trial.rung),
+        budget=None if trial.budget is None else int(trial.budget),
+        budget_used=int(evaluation.epochs_run),
+        parent_id=(None if trial.parent_id is None
+                   else int(trial.parent_id)),
+    )
+    return timeline
+
+
+__all__ = ["MetricTimeline", "alpha_entropy", "timeline_from_evaluation"]

@@ -55,6 +55,33 @@ def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     return float((y_true == y_pred).mean())
 
 
+def alpha_entropy(alpha: np.ndarray) -> float:
+    """Mean per-row entropy (nats) of a completion-parameter matrix.
+
+    The one-number summary of how *decided* a differentiable search is:
+    ``log(num_ops)`` while every op is equally plausible, ``0`` once each
+    row has collapsed onto a single op.  Non-negative box-constrained
+    weights (the discrete NASP alpha) are normalized row-wise by their
+    sum — a collapsed one-hot row reads exactly 0 — while matrices with
+    negative entries (mixture logits) go through a row softmax.
+    """
+    values = np.asarray(alpha, dtype=np.float64)
+    if values.ndim != 2 or values.size == 0:
+        return 0.0
+    eps = 1e-12
+    if values.min() >= 0.0:
+        totals = values.sum(axis=1, keepdims=True)
+        uniform = np.full_like(values, 1.0 / values.shape[1])
+        rows = np.where(totals > eps, values / np.maximum(totals, eps),
+                        uniform)
+    else:
+        shifted = values - values.max(axis=1, keepdims=True)
+        weights = np.exp(shifted)
+        rows = weights / weights.sum(axis=1, keepdims=True)
+    entropy = -(rows * np.log(rows + eps)).sum(axis=1)
+    return float(entropy.mean())
+
+
 def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
     """Binary ROC-AUC via the Mann-Whitney rank statistic (tie-aware)."""
     labels = np.asarray(labels, dtype=bool)
@@ -103,6 +130,7 @@ __all__ = [
     "macro_f1",
     "micro_f1",
     "accuracy",
+    "alpha_entropy",
     "roc_auc",
     "mean_reciprocal_rank",
 ]

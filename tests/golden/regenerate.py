@@ -1,0 +1,39 @@
+"""Regenerate the golden report fixture after an *intentional* report change.
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Rewrites ``report_fixture.html`` from the same synthetic journal
+``tests/test_runs.py::TestReport::test_golden_report_is_stable`` builds.
+Review the HTML diff before committing — the golden test exists to catch
+*unintentional* drift in the report's bytes.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(TESTS_DIR))
+
+from test_runs import write_synthetic_journal  # noqa: E402
+
+from repro.runs import render_report  # noqa: E402
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "fixture.jsonl"
+        write_synthetic_journal(
+            journal, seed=3, trials=4,
+            stopped={"trial_id": 3, "reason": "plateau",
+                     "stopper": "progress"})
+        html = render_report(journal)
+    out = Path(__file__).parent / "report_fixture.html"
+    out.write_text(html, encoding="utf-8")
+    print(f"wrote {out} ({len(html)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke profile report
+.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke serve-smoke profile report
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -33,6 +33,13 @@ bench-scale:
 tune-smoke:
 	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
 		test_autotune_speedup.py
+
+# Serving smoke: export a tiny bundle, serve it over HTTP with tracing
+# and access logging on, drive predict/onboard/drain traffic, scrape
+# /metrics and validate it; leaves SERVE_metrics.txt and
+# SERVE_trace.jsonl behind (see docs/OBSERVABILITY.md).
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
 
 # Static HTML report from the tune-smoke journal (docs/OBSERVABILITY.md).
 report:

@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..telemetry import DEFAULT_TIME_BUCKETS, get_registry
 from .journal import TrialJournal, validate_fingerprint
 from .stoppers import TrialStopper
 from .strategies import Strategy
@@ -102,6 +103,19 @@ class TrialScheduler:
         self.timelines = bool(timelines)
         self.stats = TuneStats()
         self._pool_broken = False
+        # worker/journal events mirror TuneStats onto the process-global
+        # registry so a long-lived tuner is scrapeable like the server
+        registry = get_registry()
+        self._m_trials = registry.counter(
+            "tune_trials_total", "Trials by outcome", labels=("status",))
+        self._m_batches = registry.counter(
+            "tune_batches_total", "Ask/tell rounds driven")
+        self._m_trial_seconds = registry.histogram(
+            "tune_trial_seconds", "Per-trial evaluation wall time",
+            buckets=DEFAULT_TIME_BUCKETS)
+        self._m_journal = registry.counter(
+            "tune_journal_records_total", "Journal lines appended",
+            labels=("kind",))
 
     # ------------------------------------------------------------------
     def fingerprint(self) -> Dict[str, Any]:
@@ -170,8 +184,10 @@ class TrialScheduler:
             # resume re-executes them instead of replaying the failure
             if journal is not None and payload.get("status") != "worker_died":
                 journal.append_trial(trial.to_dict(), payload)
+                self._m_journal.inc(kind="trial")
                 if timeline is not None and self.timelines:
                     journal.append_timeline(timeline)
+                    self._m_journal.inc(kind="timeline")
 
         if pool is None:
             for trial in pending:
@@ -191,6 +207,7 @@ class TrialScheduler:
                     # of aborting the whole search
                     self._pool_broken = True
                     self.stats.worker_deaths += 1
+                    self._m_trials.inc(status="worker_died")
                     payload = {
                         "trial_id": int(trial.trial_id), "score": None,
                         "seed": int(trial.seed), "rung": int(trial.rung),
@@ -209,6 +226,7 @@ class TrialScheduler:
         if self.journal_path:
             journal = TrialJournal(self.journal_path)
             journal.open(self.fingerprint(), append=bool(replay))
+            self._m_journal.inc(kind="header")
 
         pool: Optional[ProcessPoolExecutor] = None
         results: List[TrialResult] = []
@@ -219,6 +237,7 @@ class TrialScheduler:
                 if not batch:
                     break
                 self.stats.batches += 1
+                self._m_batches.inc()
                 pending = [t for t in batch if t.trial_id not in replay]
                 if pending and pool is None and self.workers > 1:
                     pool = ProcessPoolExecutor(
@@ -235,11 +254,15 @@ class TrialScheduler:
                         result = self._replayed_result(
                             trial, replay[trial.trial_id])
                         self.stats.replayed += 1
+                        self._m_trials.inc(status="replayed")
                     else:
                         result = fresh[trial.trial_id]
                         self.stats.executed += 1
+                        self._m_trials.inc(status="executed")
+                        self._m_trial_seconds.observe(result.seconds)
                     if result.failed:
                         self.stats.failed += 1
+                        self._m_trials.inc(status="failed")
                     self.strategy.tell(trial, result)
                     results.append(result)
                     # the stopper sees the identical trial-id-ordered
@@ -261,6 +284,7 @@ class TrialScheduler:
                 # pool loop) and the stopper verdict that ended the run
                 journal.append_footer({"stats": self.stats.to_dict(),
                                        "stopped": stopped})
+                self._m_journal.inc(kind="footer")
                 journal.close()
 
         return TuneReport(results=results, stats=self.stats, task=self.task,

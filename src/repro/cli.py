@@ -8,8 +8,9 @@ Commands
 ``table``      regenerate one paper table (2-10)
 ``figure``     regenerate one paper figure (3, 4, 5, 67, 8, 9, 1011)
 ``export``     search + retrain, then export a servable ModelBundle
-``serve``      serve a ModelBundle over HTTP (predict/onboard/stats)
+``serve``      serve a ModelBundle over HTTP (predict/onboard/stats/metrics)
 ``predict``    query a bundle (locally or against a running server)
+``metrics``    scrape a running server's /metrics and pretty-print it
 ``profile``    run a small search under the op-level profiler
 ``tune``       trial-based architecture search on the parallel scheduler
 ``strategies`` list the registered tuning strategies
@@ -171,6 +172,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         )
         result = run_autoac(dataset, args.model, config, seed=args.seed,
                             profile=True)
+    if args.json:
+        import json
+
+        payload = json.dumps(result.profile.to_json(), indent=2)
+        if args.json == "-":
+            print(payload)
+            return 0
+        with open(args.json, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"profile report written to {args.json}")
     print(f"runtime profile: {active.describe()}")
     print(f"search {result.search.search_seconds:.2f}s  "
           f"retrain {result.final.train_seconds:.2f}s  "
@@ -354,18 +365,73 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import EngineConfig, InferenceEngine, ServingServer
+    from .telemetry import EventSink, Tracer
 
+    # spans go to --telemetry-out (JSONL); access records share that
+    # sink when present, else fall back to stderr so --access-log alone
+    # still produces structured lines somewhere visible
+    trace_sink = EventSink(args.telemetry_out) if args.telemetry_out else None
+    tracer = Tracer(trace_sink) if trace_sink is not None else None
+    access_sink = None
+    if args.access_log:
+        access_sink = trace_sink or EventSink(sys.stderr)
     engine = InferenceEngine.from_path(
         args.bundle, EngineConfig(max_batch_size=args.batch_size,
-                                  cache_size=args.cache_size))
-    server = ServingServer(engine, host=args.host, port=args.port)
+                                  cache_size=args.cache_size),
+        tracer=tracer)
+    server = ServingServer(engine, host=args.host, port=args.port,
+                           access_sink=access_sink)
     host, port = server.address
     print(f"serving {args.bundle} at http://{host}:{port} "
-          f"(/healthz /predict /onboard /stats); Ctrl-C to stop")
+          f"(/healthz /readyz /predict /onboard /stats /metrics); "
+          f"Ctrl-C to stop")
+    if args.telemetry_out:
+        print(f"trace spans -> {args.telemetry_out}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         server.shutdown()
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import urllib.request
+
+    from .telemetry import parse_prometheus
+
+    with urllib.request.urlopen(args.url.rstrip("/") + "/metrics") as reply:
+        text = reply.read().decode()
+    try:
+        if args.raw:
+            print(text, end="")
+            return 0
+        parsed = parse_prometheus(text)
+        meta = parsed["meta"]
+        rows = sorted(parsed["samples"].items())
+        last_family = None
+        for (name, labels), value in rows:
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if family.endswith(suffix) and family[:-len(suffix)] in meta:
+                    family = family[:-len(suffix)]
+            if family != last_family:
+                info = meta.get(family, {})
+                kind = info.get("type", "untyped")
+                help_text = info.get("help", "")
+                print(f"\n# {family} ({kind})"
+                      + (f" — {help_text}" if help_text else ""))
+                last_family = family
+            if args.no_buckets and name.endswith("_bucket"):
+                continue
+            label_text = ",".join(f"{k}={v}" for k, v in labels)
+            series = name + (f"{{{label_text}}}" if label_text else "")
+            print(f"  {series:<64s} {value:g}")
+    except BrokenPipeError:
+        # e.g. `repro metrics ... | head` — the consumer hung up, fine
+        sys.stderr.close()
     return 0
 
 
@@ -464,6 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="runtime profile to measure under")
     p_profile.add_argument("--top", type=int, default=30,
                            help="rows to show in the per-op table")
+    p_profile.add_argument("--json", default=None,
+                           help="write the ProfileReport as JSON to this "
+                                "path ('-' for stdout)")
     p_profile.set_defaults(func=_cmd_profile)
 
     p_tune = sub.add_parser(
@@ -550,7 +619,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="micro-batch flush size")
     p_serve.add_argument("--cache-size", type=int, default=4096,
                          help="LRU result-cache capacity")
+    p_serve.add_argument("--access-log", action="store_true",
+                         help="structured access logging (JSONL) through "
+                              "the telemetry sink (default off)")
+    p_serve.add_argument("--telemetry-out", default=None,
+                         help="JSONL file for trace spans (+ access "
+                              "records when --access-log is set)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape and pretty-print a server's /metrics")
+    p_metrics.add_argument("--url", required=True,
+                           help="base URL of a running `repro serve`")
+    p_metrics.add_argument("--raw", action="store_true",
+                           help="print the exposition text unmodified")
+    p_metrics.add_argument("--no-buckets", action="store_true",
+                           help="hide per-bucket histogram series")
+    p_metrics.set_defaults(func=_cmd_metrics)
 
     p_predict = sub.add_parser("predict", help="query a bundle")
     p_predict.add_argument("--bundle", default=None,

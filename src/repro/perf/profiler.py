@@ -79,6 +79,36 @@ class ProfileReport:
             for stat in self.top()
         ]
 
+    def to_json(self) -> Dict:
+        """The whole report as one JSON-able dict (``repro profile
+        --json``): totals plus the ranked per-op rows."""
+        return {"total_seconds": self.total_seconds,
+                "total_calls": self.total_calls,
+                "ops": self.as_rows()}
+
+    def publish(self, registry=None) -> None:
+        """Register per-op totals as ``tensor_op_*`` metrics.
+
+        Targets the process-global registry by default, so a profiled
+        run shows up in the same ``/metrics`` scrape as everything
+        else.  Counters only ever add, so publishing two sessions
+        accumulates — the Prometheus-native behaviour.
+        """
+        from ..telemetry import get_registry
+        registry = registry or get_registry()
+        seconds = registry.counter("tensor_op_seconds_total",
+                                   "Inclusive wall time per autograd op",
+                                   labels=("op",))
+        calls = registry.counter("tensor_op_calls_total",
+                                 "Calls per autograd op", labels=("op",))
+        nbytes = registry.counter("tensor_op_bytes_total",
+                                  "Output bytes allocated per autograd op",
+                                  labels=("op",))
+        for stat in self.stats:
+            seconds.inc(stat.seconds, op=stat.name)
+            calls.inc(stat.calls, op=stat.name)
+            nbytes.inc(stat.bytes_allocated, op=stat.name)
+
     def render(self, limit: Optional[int] = 30) -> str:
         """Fixed-width per-op table: calls, total ms, share, bytes."""
         rows = self.top(limit)
@@ -106,10 +136,13 @@ class Profiler:
     acceptable for the intended "wrap one run" usage).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         self._stats: Dict[str, OpStat] = {}
         self._previous = None
         self._active = False
+        #: when set, the session's per-op totals are published into this
+        #: telemetry registry (``tensor_op_*``) on context-manager exit
+        self.registry = registry
 
     # the hook installed into repro.tensor._profile
     def _record(self, name: str, seconds: float, nbytes: int) -> None:
@@ -129,6 +162,8 @@ class Profiler:
         _profile.set_hook(self._previous)
         self._previous = None
         self._active = False
+        if self.registry is not None:
+            self.report().publish(self.registry)
 
     def reset(self) -> None:
         """Drop all collected statistics."""

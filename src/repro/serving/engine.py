@@ -16,9 +16,17 @@ queries without ever touching the training pipeline:
   ``cache_size``; the full logits matrix is deliberately *not* pinned so
   memory stays flat under large-id-space workloads).  A warm hit skips
   the forward entirely.
-* **counters** — per-query latency, throughput, cache hit rates and
-  forward-pass counts are exposed via :meth:`InferenceEngine.stats` (the
-  ``/stats`` endpoint of the HTTP server).
+* **telemetry** — every counter lives on a per-engine
+  :class:`~repro.telemetry.MetricsRegistry` (queries, batches, forward
+  passes, cache traffic, latency histograms with a ``cache=hit|miss``
+  label), surfaced three ways: :meth:`InferenceEngine.stats` (the
+  ``/stats`` endpoint, JSON-compatible with its pre-telemetry shape plus
+  ``latency.p50_ms/p95_ms/p99_ms``), the Prometheus ``/metrics``
+  endpoint, and snapshot/merge for future multi-worker aggregation.
+  When a :class:`~repro.telemetry.Tracer` is attached, each batch and
+  each model forward report as spans under the caller's trace id (the
+  HTTP handler's ``http_request`` span), with per-op timings captured
+  through :mod:`repro.tensor._profile`.
 
 Onboarded nodes (see :mod:`repro.serving.onboarding`) are served from an
 overlay: their results are computed once at onboarding time against the
@@ -38,6 +46,7 @@ import numpy as np
 
 from ..datasets import HeteroDataset
 from ..graph.adjacency import LRUCache
+from ..telemetry import MetricsRegistry, Tracer, get_tracer
 from ..tensor import Tensor, no_grad
 from .artifact import ModelBundle
 from .onboarding import OnboardingManager, OnboardResult
@@ -79,7 +88,9 @@ class InferenceEngine:
 
     def __init__(self, bundle: ModelBundle,
                  config: Optional[EngineConfig] = None,
-                 dataset: Optional[HeteroDataset] = None) -> None:
+                 dataset: Optional[HeteroDataset] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.bundle = bundle
         self.config = config or EngineConfig()
         self.dataset, self.model, self.features = bundle.instantiate(dataset)
@@ -93,25 +104,49 @@ class InferenceEngine:
         self._lock = threading.RLock()
         self._onboarding: Optional[OnboardingManager] = None
         self._started = time.perf_counter()
-        self._queries = 0
-        self._batches = 0
-        self._forward_passes = 0
-        self._batch_seconds = 0.0
+        #: a PRIVATE registry per engine, so two engines in one process
+        #: never cross-count; the HTTP server merges it with the global
+        #: registry for /metrics
+        self.metrics = registry or MetricsRegistry()
+        self.tracer = tracer or get_tracer()
+        m = self.metrics
+        self._m_queries = m.counter(
+            "engine_queries_total", "Queries answered", labels=("kind",))
+        self._m_batches = m.counter(
+            "engine_batches_total", "Micro-batches processed")
+        self._m_forwards = m.counter(
+            "engine_forward_passes_total", "Full model forward passes",
+            labels=("kind",))
+        self._m_cache = m.counter(
+            "engine_cache_requests_total", "Result-cache lookups",
+            labels=("result",))
+        self._m_batch_seconds = m.histogram(
+            "engine_batch_seconds", "Wall time per micro-batch")
+        self._m_query_seconds = m.histogram(
+            "engine_query_seconds",
+            "Apportioned per-query wall time, split by cache outcome",
+            labels=("cache",))
+        self._m_pending = m.gauge(
+            "engine_pending_queries", "Queries queued awaiting flush")
 
     @classmethod
     def from_path(cls, path, config: Optional[EngineConfig] = None,
-                  dataset: Optional[HeteroDataset] = None) -> "InferenceEngine":
+                  dataset: Optional[HeteroDataset] = None,
+                  registry: Optional[MetricsRegistry] = None,
+                  tracer: Optional[Tracer] = None) -> "InferenceEngine":
         """Load a saved bundle file and build an engine around it."""
-        return cls(ModelBundle.load(path), config=config, dataset=dataset)
+        return cls(ModelBundle.load(path), config=config, dataset=dataset,
+                   registry=registry, tracer=tracer)
 
     # ------------------------------------------------------------------
     # Model forwards (one per flushed batch)
     # ------------------------------------------------------------------
     def _forward_logits(self) -> np.ndarray:
         """Full target-type logits from the frozen base state."""
-        self._forward_passes += 1
-        with no_grad():
-            logits = self.model(Tensor(self._h0))
+        self._m_forwards.inc(kind="predict")
+        with self.tracer.span("forward", capture_ops=True, kind="predict"):
+            with no_grad():
+                logits = self.model(Tensor(self._h0))
         return np.asarray(logits.data)
 
     def _forward_embeddings(self) -> np.ndarray:
@@ -120,9 +155,10 @@ class InferenceEngine:
             raise ValueError(
                 f"backbone {self.bundle.model_name!r} only embeds the "
                 f"target type; embed() needs a full-graph model")
-        self._forward_passes += 1
-        with no_grad():
-            encoded = self.model.encode(Tensor(self._h0))
+        self._m_forwards.inc(kind="embed")
+        with self.tracer.span("forward", capture_ops=True, kind="embed"):
+            with no_grad():
+                encoded = self.model.encode(Tensor(self._h0))
         return np.asarray(encoded.data)
 
     # ------------------------------------------------------------------
@@ -149,33 +185,74 @@ class InferenceEngine:
 
         Results enter the LRU cache; onboarded target nodes come from the
         overlay.  Caller holds the lock.
+
+        Per-query latency is apportioned, not measured per query: every
+        request carries an equal share of the scan phase, and the
+        requests that forced a forward additionally split the forward
+        phase — recorded in ``engine_query_seconds`` under
+        ``cache="hit"`` / ``cache="miss"`` so warm dictionary lookups
+        never dilute (or hide) the cost of a cold query.
         """
-        start = time.perf_counter()
-        results: Dict[Tuple[str, int], np.ndarray] = {}
-        misses: Dict[str, List[int]] = {}
-        overlay = self._overlay_targets()
-        for kind, node_id in requests:
-            key = (kind, node_id)
-            if key in results:
-                continue
-            if kind == "predict" and node_id >= self._num_target:
-                results[key] = overlay[node_id].logits
-                continue
-            cached = self._cache.lookup(key, _MISS)
-            if cached is not _MISS:
-                results[key] = cached
-            else:
-                misses.setdefault(kind, []).append(node_id)
-        for kind, node_ids in misses.items():
-            matrix = (self._forward_logits() if kind == "predict"
-                      else self._forward_embeddings())
-            for node_id in node_ids:
-                row = matrix[node_id].copy()
-                self._cache.put((kind, node_id), row)
-                results[(kind, node_id)] = row
-        self._queries += len(requests)
-        self._batches += 1
-        self._batch_seconds += time.perf_counter() - start
+        with self.tracer.span("batch", queries=len(requests)) as span:
+            start = time.perf_counter()
+            results: Dict[Tuple[str, int], np.ndarray] = {}
+            misses: Dict[str, List[int]] = {}
+            kind_counts: Dict[str, int] = {}
+            hit_requests = 0
+            miss_requests = 0
+            overlay = self._overlay_targets()
+            miss_keys = set()
+            for kind, node_id in requests:
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+                key = (kind, node_id)
+                if key in results or key in miss_keys:
+                    # a duplicate inside one batch shares its first
+                    # occurrence's outcome for accounting purposes
+                    if key in miss_keys:
+                        miss_requests += 1
+                    else:
+                        hit_requests += 1
+                    continue
+                if kind == "predict" and node_id >= self._num_target:
+                    results[key] = overlay[node_id].logits
+                    hit_requests += 1
+                    continue
+                cached = self._cache.lookup(key, _MISS)
+                if cached is not _MISS:
+                    results[key] = cached
+                    hit_requests += 1
+                else:
+                    misses.setdefault(kind, []).append(node_id)
+                    miss_keys.add(key)
+                    miss_requests += 1
+            scan_end = time.perf_counter()
+            for kind, node_ids in misses.items():
+                matrix = (self._forward_logits() if kind == "predict"
+                          else self._forward_embeddings())
+                for node_id in node_ids:
+                    row = matrix[node_id].copy()
+                    self._cache.put((kind, node_id), row)
+                    results[(kind, node_id)] = row
+            end = time.perf_counter()
+
+            for kind, count in kind_counts.items():
+                self._m_queries.inc(count, kind=kind)
+            self._m_batches.inc()
+            self._m_cache.inc(hit_requests, result="hit")
+            self._m_cache.inc(miss_requests, result="miss")
+            self._m_batch_seconds.observe(end - start)
+            total = max(len(requests), 1)
+            scan_share = (scan_end - start) / total
+            if hit_requests:
+                self._m_query_seconds.observe(scan_share,
+                                              count=hit_requests,
+                                              cache="hit")
+            if miss_requests:
+                forward_share = (end - scan_end) / miss_requests
+                self._m_query_seconds.observe(scan_share + forward_share,
+                                              count=miss_requests,
+                                              cache="miss")
+            span.set(hits=hit_requests, misses=miss_requests)
         return results
 
     def _run(self, kind: str, node_ids) -> List[np.ndarray]:
@@ -233,9 +310,10 @@ class InferenceEngine:
         full batch when ``config.auto_flush`` is set."""
         if kind not in ("predict", "embed"):
             raise ValueError(f"unknown query kind {kind!r}")
-        with self._lock:
+        with self._lock, self.tracer.span("enqueue", kind=kind):
             self._validate_ids(kind, np.array([node_id], dtype=np.int64))
             self._pending.append((kind, int(node_id)))
+            self._m_pending.set(len(self._pending))
             if (self.config.auto_flush
                     and len(self._pending) >= self.config.max_batch_size):
                 self.flush()
@@ -246,9 +324,11 @@ class InferenceEngine:
         in enqueue order as JSON-able dicts."""
         with self._lock:
             pending, self._pending = self._pending, []
+            self._m_pending.set(0)
             if not pending:
                 return []
-            results = self._process(pending)
+            with self.tracer.span("flush", pending=len(pending)):
+                results = self._process(pending)
             return [self._format(kind, node_id, results[(kind, node_id)],
                                  self.bundle.label_names)
                     for kind, node_id in pending]
@@ -263,7 +343,8 @@ class InferenceEngine:
             if self._onboarding is None:
                 self._onboarding = OnboardingManager(
                     self.bundle, self.dataset, self._h0,
-                    fanout=self.config.onboard_fanout)
+                    fanout=self.config.onboard_fanout,
+                    registry=self.metrics, tracer=self.tracer)
             return self._onboarding.onboard(node_type, edges,
                                             raw_features=raw_features)
 
@@ -273,10 +354,23 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict:
-        """Serving counters (JSON-able)."""
+        """Serving counters (JSON-able), read from the metrics registry.
+
+        Every pre-telemetry key is preserved bit-compatibly.  On the
+        latency block: ``mean_query_ms`` is total micro-batch wall time
+        divided by ALL answered queries — cache hits included — so it is
+        an *amortized cost per answered query* (the throughput view),
+        NOT the latency a cold query experiences.  ``mean_hit_ms`` /
+        ``mean_miss_ms`` and the ``p50/p95/p99`` percentiles (from the
+        ``engine_query_seconds`` histogram, hits and misses pooled)
+        answer the experienced-latency question.
+        """
         with self._lock:
-            queries = self._queries
-            seconds = self._batch_seconds
+            queries = int(self._m_queries.total())
+            seconds = self._m_batch_seconds.sum_total()
+            hist = self._m_query_seconds
+            hit_count = hist.child_count(cache="hit")
+            miss_count = hist.child_count(cache="miss")
             return {
                 "bundle": {
                     "dataset": self.bundle.dataset.name,
@@ -288,8 +382,8 @@ class InferenceEngine:
                 },
                 "uptime_seconds": time.perf_counter() - self._started,
                 "queries": queries,
-                "batches": self._batches,
-                "forward_passes": self._forward_passes,
+                "batches": int(self._m_batches.total()),
+                "forward_passes": int(self._m_forwards.total()),
                 "pending": len(self._pending),
                 "onboarded": self.num_onboarded,
                 "cache": {
@@ -304,6 +398,13 @@ class InferenceEngine:
                                       if queries else 0.0),
                     "queries_per_second": (queries / seconds
                                            if seconds > 0 else 0.0),
+                    "mean_hit_ms": (1e3 * hist.child_sum(cache="hit")
+                                    / hit_count if hit_count else 0.0),
+                    "mean_miss_ms": (1e3 * hist.child_sum(cache="miss")
+                                     / miss_count if miss_count else 0.0),
+                    "p50_ms": 1e3 * hist.aggregate_percentile(0.50),
+                    "p95_ms": 1e3 * hist.aggregate_percentile(0.95),
+                    "p99_ms": 1e3 * hist.aggregate_percentile(0.99),
                 },
             }
 

@@ -29,11 +29,14 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+import time
+
 from ..completion import build_op
 from ..datasets import HeteroDataset
 from ..graph import Relation
 from ..graph.sampler import NeighborSampler
 from ..models import build_model
+from ..telemetry import MetricsRegistry, Tracer
 from ..tensor import Tensor, no_grad
 from .artifact import ModelBundle
 
@@ -88,13 +91,30 @@ class OnboardingManager:
 
     def __init__(self, bundle: ModelBundle, base_dataset: HeteroDataset,
                  base_h0: np.ndarray,
-                 fanout: Optional[int] = None) -> None:
+                 fanout: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.bundle = bundle
         self.base = base_dataset
         #: when set (and the backbone supports sampling), the onboarding
         #: forward runs on a sampled neighborhood view around the new node
         #: instead of the whole updated graph
         self._fanout = fanout
+        # the engine hands down its private registry/tracer so onboarding
+        # shows up in the same /metrics scrape and trace stream
+        self.metrics = registry or MetricsRegistry()
+        self.tracer = tracer or Tracer(None)
+        self._m_onboards = self.metrics.counter(
+            "onboard_nodes_total", "Nodes onboarded online",
+            labels=("node_type",))
+        self._m_failures = self.metrics.counter(
+            "onboard_failures_total", "Onboard attempts rolled back",
+            labels=("node_type",))
+        self._m_seconds = self.metrics.histogram(
+            "onboard_seconds", "Wall time per onboarded node")
+        self._m_overlay = self.metrics.gauge(
+            "onboard_overlay_size", "Onboarded nodes served from overlay",
+            aggregation="max")
         self._dataset: Optional[HeteroDataset] = None  # mutable copy, lazy
         self._h0 = np.asarray(base_h0).copy()
         self._results: Dict[Tuple[str, int], OnboardResult] = {}
@@ -208,6 +228,21 @@ class OnboardingManager:
     def onboard(self, node_type: str, edges: EdgeSpec,
                 raw_features=None) -> OnboardResult:
         """Append one node, synthesize its attribute, freeze its result."""
+        start = time.perf_counter()
+        with self.tracer.span("onboard", node_type=node_type):
+            try:
+                result = self._onboard(node_type, edges, raw_features)
+            except Exception:
+                # the rollback in _onboard already ran; count the attempt
+                self._m_failures.inc(node_type=node_type)
+                raise
+        self._m_onboards.inc(node_type=node_type)
+        self._m_seconds.observe(time.perf_counter() - start)
+        self._m_overlay.set(len(self._results))
+        return result
+
+    def _onboard(self, node_type: str, edges: EdgeSpec,
+                 raw_features=None) -> OnboardResult:
         dataset = self._mutable_dataset()
         graph = dataset.graph
         if node_type not in graph.node_types:

@@ -6,23 +6,52 @@ engine serializes access internally, so the threaded server is safe.
 
 Endpoints
 ---------
-``GET  /healthz``  liveness + bundle identity
+``GET  /healthz``  **liveness**: the process is up and owns a bundle
+``GET  /readyz``   **readiness**: willing to take traffic (503 while
+                   draining — :meth:`ServingServer.set_ready`)
 ``GET  /stats``    engine counters (:meth:`InferenceEngine.stats`)
+``GET  /metrics``  Prometheus text exposition — the engine's private
+                   registry merged with the process-global one, so
+                   trainer/tuner/profiler instruments ride along
 ``POST /predict``  ``{"node_ids": [..]}`` → predictions + label names
 ``POST /onboard``  ``{"node_type": .., "edges": {"src:name:dst": [..]},
                      "features": [..]?}`` → the new node's serving result
+
+Every request is measured into ``http_requests_total{method,path,status}``
+and ``http_request_seconds{path}`` (unknown paths collapse to
+``path="<other>"`` to keep label cardinality bounded).  When the
+engine's tracer is enabled, each request runs under an ``http_request``
+root span — engine batch/forward spans nest beneath it, and the
+response carries the trace id in ``X-Trace-Id``.  Structured access
+logging (method, path, status, duration, trace id) is off by default
+(``log_message`` stays silenced) and goes through a telemetry
+:class:`~repro.telemetry.EventSink` when one is passed
+(``repro serve --access-log``).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import (
+    CONTENT_TYPE as METRICS_CONTENT_TYPE,
+    EventSink,
+    get_registry,
+    merge_snapshots,
+    render_prometheus,
+)
 from .engine import InferenceEngine
+
+#: paths kept verbatim as metric label values; everything else becomes
+#: "<other>" so a scanner probing random URLs cannot explode cardinality
+_KNOWN_PATHS = ("/healthz", "/readyz", "/stats", "/metrics",
+                "/predict", "/onboard")
 
 
 def _json_default(obj):
@@ -33,21 +62,37 @@ def _json_default(obj):
     raise TypeError(f"not serializable: {type(obj)}")
 
 
-def make_handler(engine: InferenceEngine):
+def make_handler(engine: InferenceEngine,
+                 access_sink: Optional[EventSink] = None,
+                 ready: Optional[threading.Event] = None):
     """Build a request-handler class bound to one engine instance."""
+    metrics = engine.metrics
+    http_requests = metrics.counter(
+        "http_requests_total", "HTTP requests served",
+        labels=("method", "path", "status"))
+    http_seconds = metrics.histogram(
+        "http_request_seconds", "HTTP request wall time", labels=("path",))
 
     class ServingHandler(BaseHTTPRequestHandler):
         server_version = "repro-serving/1"
 
-        # silence per-request stderr logging (tests and benchmarks)
+        # silence per-request stderr logging — structured access logging
+        # goes through the telemetry event sink instead (off by default)
         def log_message(self, format, *args):  # noqa: A002
             pass
 
         def _reply(self, status: int, payload: dict) -> None:
             body = json.dumps(payload, default=_json_default).encode()
+            self._send(status, body, "application/json")
+
+        def _send(self, status: int, body: bytes,
+                  content_type: str) -> None:
+            self._status = status
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            if self._trace_id:
+                self.send_header("X-Trace-Id", self._trace_id)
             self.end_headers()
             self.wfile.write(body)
 
@@ -60,21 +105,43 @@ def make_handler(engine: InferenceEngine):
                 raise ValueError("request body must be a JSON object")
             return payload
 
+        def _metrics_text(self) -> bytes:
+            snapshots = [metrics.snapshot()]
+            process_registry = get_registry()
+            if process_registry is not metrics:
+                snapshots.append(process_registry.snapshot())
+            return render_prometheus(merge_snapshots(snapshots)).encode()
+
         # ------------------------------------------------------------------
-        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        def _dispatch_get(self) -> None:
             if self.path == "/healthz":
+                # liveness: the process is up and holds a bundle —
+                # never gated on readiness, so an orchestrator can tell
+                # "restart me" apart from "stop routing to me"
                 self._reply(200, {
                     "status": "ok",
+                    "check": "liveness",
                     "dataset": engine.bundle.dataset.name,
                     "model": engine.bundle.model_name,
                     "target_type": engine.bundle.target_type,
                 })
+            elif self.path == "/readyz":
+                if ready is None or ready.is_set():
+                    self._reply(200, {"status": "ready",
+                                      "check": "readiness",
+                                      "pending": len(engine._pending),
+                                      "onboarded": engine.num_onboarded})
+                else:
+                    self._reply(503, {"status": "unready",
+                                      "check": "readiness"})
             elif self.path == "/stats":
                 self._reply(200, engine.stats())
+            elif self.path == "/metrics":
+                self._send(200, self._metrics_text(), METRICS_CONTENT_TYPE)
             else:
                 self._reply(404, {"error": f"unknown path {self.path!r}"})
 
-        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        def _dispatch_post(self) -> None:
             try:
                 payload = self._read_json()
                 if self.path == "/predict":
@@ -105,6 +172,41 @@ def make_handler(engine: InferenceEngine):
                 # onboarding — the engine's state was rolled back, report it
                 self._reply(500, {"error": str(error)})
 
+        def _handle(self, method: str) -> None:
+            start = time.perf_counter()
+            self._status = 500
+            self._trace_id = None
+            path_label = (self.path if self.path in _KNOWN_PATHS
+                          else "<other>")
+            with engine.tracer.span("http_request", method=method,
+                                    path=self.path) as span:
+                self._trace_id = span.trace_id
+                try:
+                    if method == "GET":
+                        self._dispatch_get()
+                    else:
+                        self._dispatch_post()
+                finally:
+                    span.set(status=self._status)
+            duration = time.perf_counter() - start
+            http_requests.inc(method=method, path=path_label,
+                              status=str(self._status))
+            http_seconds.observe(duration, path=path_label)
+            if access_sink is not None:
+                access_sink.emit({
+                    "kind": "access", "unix_ms": time.time() * 1e3,
+                    "method": method, "path": self.path,
+                    "status": self._status,
+                    "duration_ms": duration * 1e3,
+                    "trace_id": self._trace_id,
+                })
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            self._handle("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 (http.server API)
+            self._handle("POST")
+
     return ServingHandler
 
 
@@ -112,13 +214,23 @@ class ServingServer:
     """Owns a ``ThreadingHTTPServer`` around one engine.
 
     ``port=0`` binds an ephemeral port (tests); :meth:`start_background`
-    runs the accept loop in a daemon thread and returns the bound address.
+    runs the accept loop in a daemon thread and returns the bound
+    address.  ``access_sink`` enables structured access logging.
+    Readiness starts ``True``; :meth:`set_ready` flips ``/readyz``
+    (liveness is unaffected), and :meth:`shutdown` drains by going
+    unready before closing the socket.
     """
 
     def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
-                 port: int = 8080) -> None:
+                 port: int = 8080,
+                 access_sink: Optional[EventSink] = None) -> None:
         self.engine = engine
-        self.httpd = ThreadingHTTPServer((host, port), make_handler(engine))
+        self._ready = threading.Event()
+        self._ready.set()
+        self.httpd = ThreadingHTTPServer(
+            (host, port),
+            make_handler(engine, access_sink=access_sink,
+                         ready=self._ready))
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -129,6 +241,17 @@ class ServingServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set()
+
+    def set_ready(self, ready: bool) -> None:
+        """Flip readiness (load-balancer drain) without touching liveness."""
+        if ready:
+            self._ready.set()
+        else:
+            self._ready.clear()
 
     def serve_forever(self) -> None:
         """Block serving requests until :meth:`shutdown` (or Ctrl-C)."""
@@ -141,6 +264,7 @@ class ServingServer:
         return self
 
     def shutdown(self) -> None:
+        self.set_ready(False)
         self.httpd.shutdown()
         self.httpd.server_close()
         if self._thread is not None:

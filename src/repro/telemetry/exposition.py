@@ -1,0 +1,177 @@
+"""Prometheus text exposition (and a small parser for tests/CLI).
+
+:func:`render_prometheus` turns a :meth:`~repro.telemetry.metrics.
+MetricsRegistry.snapshot` (or a :func:`~repro.telemetry.metrics.
+merge_snapshots` result) into the text format every Prometheus-
+compatible scraper understands (version ``0.0.4``):
+
+* counters render as ``name{label="v"} value``;
+* gauges the same with ``TYPE gauge``;
+* histograms render the standard triple — cumulative ``name_bucket``
+  series with ``le`` labels (ending in ``le="+Inf"``), ``name_sum``
+  and ``name_count``.
+
+Rendering is deterministic (sorted metric names, sorted label keys)
+so scrape artifacts diff cleanly.  :func:`parse_prometheus` inverts
+the format well enough to validate scrapes in tests and pretty-print
+them in ``repro metrics``; it is not a general-purpose parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .metrics import MetricError, _decode_key
+
+__all__ = ["render_prometheus", "parse_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _unescape(value: str) -> str:
+    out, index = [], 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a metrics snapshot to Prometheus text format."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry["kind"]
+        label_names = list(entry.get("labels", ()))
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {_escape(entry['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        for key in sorted(entry["samples"]):
+            values = _decode_key(key)
+            pairs = list(zip(label_names, values))
+            if kind == "histogram":
+                data = entry["samples"][key]
+                cumulative = 0
+                for bound, count in zip(entry["buckets"], data["counts"]):
+                    cumulative += count
+                    bucket_pairs = pairs + [("le", _format_value(bound))]
+                    lines.append(f"{name}_bucket"
+                                 f"{_format_labels(bucket_pairs)} "
+                                 f"{cumulative}")
+                cumulative += data["counts"][len(entry["buckets"])]
+                lines.append(f"{name}_bucket"
+                             f"{_format_labels(pairs + [('le', '+Inf')])} "
+                             f"{cumulative}")
+                lines.append(f"{name}_sum{_format_labels(pairs)} "
+                             f"{_format_value(data['sum'])}")
+                lines.append(f"{name}_count{_format_labels(pairs)} "
+                             f"{data['count']}")
+            else:
+                lines.append(f"{name}{_format_labels(pairs)} "
+                             f"{_format_value(entry['samples'][key])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _parse_labels(body: str) -> Tuple[Tuple[str, str], ...]:
+    pairs: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        equals = body.index("=", index)
+        label = body[index:equals].strip().lstrip(",").strip()
+        if body[equals + 1] != '"':
+            raise MetricError(f"unquoted label value in {body!r}")
+        cursor = equals + 2
+        raw = []
+        while cursor < len(body):
+            char = body[cursor]
+            if char == "\\":
+                raw.append(body[cursor:cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        else:
+            raise MetricError(f"unterminated label value in {body!r}")
+        pairs.append((label, _unescape("".join(raw))))
+        index = cursor + 1
+    return tuple(pairs)
+
+
+def parse_prometheus(text: str) -> Dict:
+    """Parse exposition text → ``{"meta": .., "samples": ..}``.
+
+    ``meta`` maps metric name → ``{"type", "help"}``; ``samples`` maps
+    ``(series_name, sorted_label_pairs)`` → float value.  Raises
+    :class:`MetricError` on any line that is not a valid comment or
+    sample — the tests use this as a format validity check.
+    """
+    meta: Dict[str, Dict[str, str]] = {}
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                field = parts[1].lower()
+                meta.setdefault(name, {})[field] = (
+                    parts[3] if len(parts) > 3 else "")
+            continue
+        if "{" in line:
+            try:
+                name = line[:line.index("{")]
+                closing = line.rindex("}")
+                labels = _parse_labels(line[line.index("{") + 1:closing])
+                rest = line[closing + 1:].strip()
+            except ValueError as error:
+                if isinstance(error, MetricError):
+                    raise
+                raise MetricError(
+                    f"malformed sample line: {line!r}") from error
+            if not rest:
+                raise MetricError(f"malformed sample line: {line!r}")
+        else:
+            pieces = line.split()
+            if len(pieces) < 2:
+                raise MetricError(f"malformed sample line: {line!r}")
+            name, rest = pieces[0], " ".join(pieces[1:])
+            labels = ()
+        value_text = rest.split()[0]
+        try:
+            value = float("inf") if value_text == "+Inf" else float(value_text)
+        except ValueError as error:
+            raise MetricError(
+                f"malformed sample value in {line!r}") from error
+        if not name or not all(c.isalnum() or c in "_:" for c in name):
+            raise MetricError(f"malformed metric name in {line!r}")
+        samples[(name, tuple(sorted(labels)))] = value
+    return {"meta": meta, "samples": samples}

@@ -34,7 +34,7 @@ from ..models import BaseHGNN
 from ..tensor import Adam, cross_entropy, no_grad
 from .early_stopping import EarlyStopping
 from .metrics import macro_f1, micro_f1
-from .trainer import TrainConfig, TrainResult
+from .trainer import TrainConfig, TrainResult, epoch_instruments
 
 
 @dataclass
@@ -164,10 +164,12 @@ class MiniBatchTrainer:
         stopper = EarlyStopping(cfg.patience, [self.model, self.features])
         history: Dict[str, List[float]] = {"train_loss": [],
                                            "val_macro_f1": []}
+        record_epoch, record_eval = epoch_instruments("minibatch")
         start = time.perf_counter()
         epochs_run = 0
         for epoch in range(cfg.epochs):
             epochs_run = epoch + 1
+            epoch_start = time.perf_counter()
             batches = self._batches(split.train, cfg.batch_size, shuffle=True)
             if cfg.batches_per_epoch is not None:
                 batches = batches[:cfg.batches_per_epoch]
@@ -180,9 +182,12 @@ class MiniBatchTrainer:
                 epoch_loss += loss.item() * batch.shape[0]
             seen = sum(b.shape[0] for b in batches)
             history["train_loss"].append(epoch_loss / max(seen, 1))
+            record_epoch(time.perf_counter() - epoch_start,
+                         history["train_loss"][-1])
             if epoch % cfg.eval_every == 0:
                 val = self.evaluate(split.val)["macro_f1"]
                 history["val_macro_f1"].append(val)
+                record_eval(val)
                 if cfg.verbose:
                     print(f"epoch {epoch:3d} loss "
                           f"{history['train_loss'][-1]:.4f} "

@@ -17,9 +17,42 @@ import numpy as np
 from ..completion import FeatureBuilder
 from ..datasets import HeteroDataset
 from ..models import BaseHGNN
+from ..telemetry import DEFAULT_TIME_BUCKETS, get_registry
 from ..tensor import Adam, Tensor, cross_entropy, no_grad
 from .early_stopping import EarlyStopping
 from .metrics import macro_f1, micro_f1
+
+
+def epoch_instruments(trainer: str):
+    """Per-epoch instruments on the global registry, shared by both
+    trainers (``trainer`` label: ``full_graph`` | ``minibatch``).
+
+    Returns ``(record_epoch, record_eval)`` closures so the epoch loop
+    stays one call per event; overhead is nanoseconds against an epoch.
+    """
+    registry = get_registry()
+    epochs = registry.counter("train_epochs_total",
+                              "Training epochs completed",
+                              labels=("trainer",))
+    seconds = registry.histogram("train_epoch_seconds",
+                                 "Wall time per training epoch",
+                                 labels=("trainer",),
+                                 buckets=DEFAULT_TIME_BUCKETS)
+    loss_gauge = registry.gauge("train_loss", "Most recent training loss",
+                                labels=("trainer",), aggregation="last")
+    val_gauge = registry.gauge("train_val_macro_f1",
+                               "Most recent validation macro-F1",
+                               labels=("trainer",), aggregation="last")
+
+    def record_epoch(elapsed: float, loss: float) -> None:
+        epochs.inc(trainer=trainer)
+        seconds.observe(elapsed, trainer=trainer)
+        loss_gauge.set(loss, trainer=trainer)
+
+    def record_eval(val_macro_f1: float) -> None:
+        val_gauge.set(val_macro_f1, trainer=trainer)
+
+    return record_epoch, record_eval
 
 
 @dataclass
@@ -91,18 +124,22 @@ class NodeClassificationTrainer:
         split = self.dataset.split
         stopper = EarlyStopping(cfg.patience, [self.model, self.features])
         history: Dict[str, List[float]] = {"train_loss": [], "val_macro_f1": []}
+        record_epoch, record_eval = epoch_instruments("full_graph")
         start = time.perf_counter()
         epochs_run = 0
         for epoch in range(cfg.epochs):
             epochs_run = epoch + 1
+            epoch_start = time.perf_counter()
             self.optimizer.zero_grad()
             loss = self._loss(split.train)
             loss.backward()
             self.optimizer.step()
             history["train_loss"].append(loss.item())
+            record_epoch(time.perf_counter() - epoch_start, loss.item())
             if epoch % cfg.eval_every == 0:
                 val = self.evaluate(split.val)["macro_f1"]
                 history["val_macro_f1"].append(val)
+                record_eval(val)
                 if cfg.verbose:
                     print(f"epoch {epoch:3d} loss {loss.item():.4f} "
                           f"val macro-F1 {val:.4f}")
@@ -146,4 +183,4 @@ def run_repeats(factory, repeats: int = 3, base_seed: int = 0):
 
 
 __all__ = ["TrainConfig", "TrainResult", "NodeClassificationTrainer",
-           "run_repeats"]
+           "epoch_instruments", "run_repeats"]

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke serve-smoke profile report
+.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke serve-smoke chaos-smoke profile report
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -40,6 +40,14 @@ tune-smoke:
 # SERVE_trace.jsonl behind (see docs/OBSERVABILITY.md).
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
+
+# Chaos smoke: deterministic fault injection against the live stack —
+# serving under injected flush failures (no request lost without a 5xx),
+# corrupted bundle writes rejected at load, killed trial workers
+# self-healing to the identical leaderboard; leaves CHAOS_report.jsonl
+# behind (see docs/ROBUSTNESS.md).
+chaos-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/chaos_smoke.py
 
 # Static HTML report from the tune-smoke journal (docs/OBSERVABILITY.md).
 report:

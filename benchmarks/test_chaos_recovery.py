@@ -1,0 +1,153 @@
+"""Chaos recovery guard — fault-injected serving must fully recover.
+
+Not a paper table: this benchmark guards the robustness layer
+(``repro.faults`` + the serving hardening, see docs/ROBUSTNESS.md).  It
+trains a small bundle, serves it through a live HTTP server, arms a
+seeded fault plan that raises inside the engine's batch flush ~35% of
+the time, and drives a retrying client through it.
+
+The contract asserted (and recorded into ``BENCH_perf.json``):
+
+* every failed attempt is an explicit 5xx answer — nothing hangs and
+  nothing is silently dropped;
+* **every** initially-failed request recovers on retry
+  (``chaos_recovered_rate == 1.0``);
+* the server is still alive and serving clean traffic afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.completion import FixedAssignmentFeatures, SearchSpace
+from repro.faults import FaultPlan, FaultRule, armed
+from repro.models import build_model
+from repro.serving import (
+    DatasetSpec,
+    EngineConfig,
+    InferenceEngine,
+    ServerConfig,
+    ServingServer,
+    build_bundle,
+)
+from repro.training import NodeClassificationTrainer, TrainConfig, set_seed
+
+from conftest import SCALE, run_once
+
+NUM_REQUESTS = 40
+MAX_ATTEMPTS = 10
+FLUSH_FAILURE_RATE = 0.35
+CHAOS_SEED = 11
+HIDDEN_DIM = 32
+EPOCHS = 3
+
+
+def _export_bundle(tmp_dir: Path, scale: str) -> Path:
+    from repro.datasets import get_dataset
+
+    set_seed(0)
+    dataset = get_dataset("imdb", scale=scale, seed=0)
+    space = SearchSpace()
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, len(space),
+                              size=dataset.missing_global_ids.shape[0])
+    features = FixedAssignmentFeatures(dataset, HIDDEN_DIM, assignment,
+                                       space=space)
+    model = build_model("gcn", dataset, hidden_dim=HIDDEN_DIM,
+                        out_dim=HIDDEN_DIM)
+    NodeClassificationTrainer(model, features, dataset,
+                              TrainConfig(epochs=EPOCHS, patience=10)).train()
+    bundle = build_bundle(dataset, DatasetSpec("imdb", scale, 0), "gcn",
+                          model, features, hidden_dim=HIDDEN_DIM,
+                          out_dim=HIDDEN_DIM)
+    return bundle.save(tmp_dir / "chaos_recovery_bundle.npz")
+
+
+def _post(url: str, payload: dict):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as reply:
+            return reply.status, json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def drive(scale: str = SCALE) -> dict:
+    plan = FaultPlan(
+        [FaultRule(site="engine.flush", action="raise",
+                   probability=FLUSH_FAILURE_RATE,
+                   message="injected flush chaos")],
+        seed=CHAOS_SEED)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _export_bundle(Path(tmp), scale)
+        engine = InferenceEngine.from_path(
+            path, EngineConfig(max_batch_size=8))
+        server = ServingServer(engine, port=0,
+                               config=ServerConfig(max_inflight=4)
+                               ).start_background()
+        failed_once = recovered = lost = hung = 0
+        try:
+            with armed(plan, export_env=False):
+                for index in range(NUM_REQUESTS):
+                    final_status = None
+                    attempts = 0
+                    for attempts in range(1, MAX_ATTEMPTS + 1):
+                        try:
+                            final_status, _ = _post(
+                                server.url + "/predict",
+                                {"node_ids": [index % 8]})
+                        except OSError:
+                            hung += 1
+                            break
+                        if final_status == 200:
+                            break
+                    if attempts > 1:
+                        failed_once += 1
+                        if final_status == 200:
+                            recovered += 1
+                    if final_status != 200:
+                        lost += 1
+            status, _ = _post(server.url + "/predict",
+                              {"node_ids": list(range(8))})
+            alive_after = status == 200
+            counters = plan.counters()["engine.flush#0"]
+        finally:
+            server.shutdown()
+            engine.close()
+    return {
+        "injected": counters["hits"],
+        "flushes": counters["visits"],
+        "failed_once": failed_once,
+        "recovered": recovered,
+        "lost": lost,
+        "hung": hung,
+        "alive_after": alive_after,
+        "recovered_rate": (recovered / failed_once) if failed_once else 1.0,
+    }
+
+
+def test_chaos_recovery(benchmark, record_benchmark):
+    result = run_once(benchmark, drive)
+    record_benchmark("chaos_recovered_rate", result["recovered_rate"],
+                     "fraction")
+    record_benchmark("chaos_injected_failures", result["injected"], "faults")
+    print()
+    print(f"injected {result['injected']} flush failures over "
+          f"{result['flushes']} flushes")
+    print(f"retried  {result['failed_once']} requests, recovered "
+          f"{result['recovered']} (rate {result['recovered_rate']:.2f})")
+
+    assert result["injected"] >= 3, "the plan never fired — no chaos applied"
+    assert result["hung"] == 0, "a request hung instead of failing fast"
+    assert result["lost"] == 0, "a request was lost without recovery"
+    assert result["failed_once"] > 0, "no request ever needed a retry"
+    assert result["recovered_rate"] == 1.0
+    assert result["alive_after"], "server did not serve clean traffic after"

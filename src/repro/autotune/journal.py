@@ -24,10 +24,11 @@ it left off.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
+
+from ..io import JsonlAppender
 
 #: bump when the journal line layout changes incompatibly
 JOURNAL_FORMAT_VERSION = 1
@@ -53,7 +54,7 @@ class TrialJournal:
 
     def __init__(self, path) -> None:
         self.path = Path(path)
-        self._handle = None
+        self._appender: Optional[JsonlAppender] = None
 
     # ------------------------------------------------------------------
     # writing
@@ -63,25 +64,12 @@ class TrialJournal:
 
         ``append=False`` truncates and writes a fresh header;
         ``append=True`` (the resume path) keeps existing lines and writes
-        nothing — the header is already on disk and validated.  A kill
-        mid-write leaves a torn final line with no newline; appending
-        straight after it would corrupt the *next* record too, so the
-        tear is sealed with a newline first (the torn fragment then reads
-        as one ignorable line).
+        nothing — the header is already on disk and validated.  The
+        shared :class:`repro.io.JsonlAppender` seals a torn final line
+        (kill mid-write) before appending, so the fragment reads as one
+        ignorable line instead of corrupting the next record.
         """
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        seal_torn_tail = False
-        if append and self.path.exists():
-            with open(self.path, "rb") as handle:
-                handle.seek(0, os.SEEK_END)
-                if handle.tell() > 0:
-                    handle.seek(-1, os.SEEK_END)
-                    seal_torn_tail = handle.read(1) != b"\n"
-        mode = "a" if append else "w"
-        self._handle = open(self.path, mode, encoding="utf-8")
-        if seal_torn_tail:
-            self._handle.write("\n")
-            self._handle.flush()
+        self._appender = JsonlAppender(self.path, append=append)
         if not append:
             self._write_line({"kind": "header",
                               "format_version": JOURNAL_FORMAT_VERSION,
@@ -89,8 +77,6 @@ class TrialJournal:
 
     def append_trial(self, trial_dict: Dict[str, Any],
                      result_dict: Dict[str, Any]) -> None:
-        if self._handle is None:
-            raise ValueError("journal is not open")
         self._write_line({"kind": "trial", "trial": trial_dict,
                           "result": result_dict})
 
@@ -100,25 +86,21 @@ class TrialJournal:
         Derived data: resume never replays timelines, so a torn or
         missing timeline line costs one trial's curves, never the run.
         """
-        if self._handle is None:
-            raise ValueError("journal is not open")
         self._write_line({"kind": "timeline", "timeline": timeline_dict})
 
     def append_footer(self, footer_dict: Dict[str, Any]) -> None:
         """Journal the run accounting (stats, worker deaths, stop verdict)."""
-        if self._handle is None:
-            raise ValueError("journal is not open")
         self._write_line({"kind": "footer", "footer": footer_dict})
 
     def _write_line(self, payload: Dict[str, Any]) -> None:
-        self._handle.write(json.dumps(payload) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._appender is None:
+            raise ValueError("journal is not open")
+        self._appender.write(payload)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
 
     # ------------------------------------------------------------------
     # reading

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import json
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from ..faults import fault_site
 from ..telemetry import DEFAULT_TIME_BUCKETS, get_registry
 from .journal import TrialJournal, validate_fingerprint
 from .stoppers import TrialStopper
@@ -42,11 +44,17 @@ class TuneStats:
     failed: int = 0         #: trials that returned a failed result
     batches: int = 0        #: ask/tell rounds driven
     worker_deaths: int = 0  #: worker processes lost (OOM kill, segfault)
+    retried: int = 0        #: attempts re-queued after a worker death
+    quarantined: int = 0    #: trials given up on after exhausting retries
+    timeouts: int = 0       #: trials abandoned at the trial timeout
 
     def to_dict(self) -> Dict[str, int]:
         return {"executed": self.executed, "replayed": self.replayed,
                 "failed": self.failed, "batches": self.batches,
-                "worker_deaths": self.worker_deaths}
+                "worker_deaths": self.worker_deaths,
+                "retried": self.retried,
+                "quarantined": self.quarantined,
+                "timeouts": self.timeouts}
 
 
 @dataclass
@@ -88,7 +96,10 @@ class TrialScheduler:
                  resume: bool = False,
                  mp_context: Optional[str] = None,
                  stopper: Optional[TrialStopper] = None,
-                 timelines: bool = True) -> None:
+                 timelines: bool = True,
+                 max_trial_retries: int = 2,
+                 retry_backoff_s: float = 0.05,
+                 trial_timeout_s: Optional[float] = None) -> None:
         self.task = task
         self.strategy = strategy
         self.workers = max(0, int(workers))
@@ -101,8 +112,17 @@ class TrialScheduler:
         self.mp_context = mp_context
         self.stopper = stopper
         self.timelines = bool(timelines)
+        #: how many times a trial whose worker *process* died is re-run
+        #: before it is quarantined (0 → first death is final); in-process
+        #: trial failures are results, not deaths, and are never retried
+        self.max_trial_retries = max(0, int(max_trial_retries))
+        self.retry_backoff_s = max(0.0, float(retry_backoff_s))
+        #: wall-clock cap per submission wave; a trial still running past
+        #: it is recorded as failed and its (hung) pool is abandoned
+        self.trial_timeout_s = (None if trial_timeout_s is None
+                                else float(trial_timeout_s))
         self.stats = TuneStats()
-        self._pool_broken = False
+        self._pool: Optional[ProcessPoolExecutor] = None
         # worker/journal events mirror TuneStats onto the process-global
         # registry so a long-lived tuner is scrapeable like the server
         registry = get_registry()
@@ -116,6 +136,9 @@ class TrialScheduler:
         self._m_journal = registry.counter(
             "tune_journal_records_total", "Journal lines appended",
             labels=("kind",))
+        self._m_retries = registry.counter(
+            "tune_trial_retries_total",
+            "Trial attempts re-queued after a worker death")
 
     # ------------------------------------------------------------------
     def fingerprint(self) -> Dict[str, Any]:
@@ -157,8 +180,34 @@ class TrialScheduler:
         return TrialResult.from_dict(entry["result"])
 
     # ------------------------------------------------------------------
-    def _execute_batch(self, pool: Optional[ProcessPoolExecutor],
-                       pending: List[Trial],
+    # pool lifecycle — lazily built, abandoned when broken or hung
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.workers > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context(self.mp_context))
+        return self._pool
+
+    def _abandon_pool(self) -> None:
+        """Drop a broken/hung pool; the next wave builds a fresh one.
+
+        ``wait=False`` because a hung worker cannot be joined — its
+        process is leaked until it finishes or dies on its own, which
+        is the honest trade for not stalling the whole search.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def _failure_payload(self, trial: Trial, status: str,
+                         error: str) -> Dict[str, Any]:
+        return {"trial_id": int(trial.trial_id), "score": None,
+                "seed": int(trial.seed), "rung": int(trial.rung),
+                "ops": trial.ops, "status": status, "error": error}
+
+    def _execute_batch(self, pending: List[Trial],
                        journal: Optional[TrialJournal]) -> Dict[int,
                                                                 TrialResult]:
         """Run the pending trials, journaling each one *as it finishes*.
@@ -168,6 +217,17 @@ class TrialScheduler:
         the interrupted batch is on disk.  Journal line order may differ
         from trial-id order under parallel workers; replay is keyed by
         trial id, so resume does not care.
+
+        Self-healing: a trial whose worker *process* died (OOM kill,
+        segfault, injected fault) is re-queued up to
+        ``max_trial_retries`` times with exponential backoff on a
+        rebuilt pool; a trial that keeps killing its worker is
+        **quarantined** — journaled with ``status="quarantined"`` so a
+        resume replays the verdict instead of walking back into the
+        crash.  Transient deaths (retry succeeded, or retries left)
+        stay out of the journal.  A wave that outlives
+        ``trial_timeout_s`` marks its unfinished trials failed and
+        abandons the hung pool.
         """
         if not pending:
             return {}
@@ -182,6 +242,7 @@ class TrialScheduler:
             # worker deaths are transient infrastructure failures, not
             # evaluation outcomes — keep them out of the journal so a
             # resume re-executes them instead of replaying the failure
+            # (a quarantined trial IS journaled: its verdict is final)
             if journal is not None and payload.get("status") != "worker_died":
                 journal.append_trial(trial.to_dict(), payload)
                 self._m_journal.inc(kind="trial")
@@ -189,33 +250,95 @@ class TrialScheduler:
                     journal.append_timeline(timeline)
                     self._m_journal.inc(kind="timeline")
 
-        if pool is None:
+        if self.workers <= 1:
             for trial in pending:
                 record(trial, execute_trial(self.task, trial))
-        else:
-            futures = {pool.submit(execute_trial, self.task, trial): trial
-                       for trial in pending}
-            for future in as_completed(futures):
-                trial = futures[future]
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001
-                    # execute_trial catches in-process errors itself, so
-                    # reaching here means the worker *process* died (OOM
-                    # kill, segfault) and the pool is broken — record a
-                    # failed trial and let run() rebuild the pool, instead
-                    # of aborting the whole search
-                    self._pool_broken = True
-                    self.stats.worker_deaths += 1
-                    self._m_trials.inc(status="worker_died")
-                    payload = {
-                        "trial_id": int(trial.trial_id), "score": None,
-                        "seed": int(trial.seed), "rung": int(trial.rung),
-                        "ops": trial.ops, "status": "worker_died",
-                        "error": (f"worker process died: "
-                                  f"{type(exc).__name__}: {exc}"),
-                    }
-                record(trial, payload)
+            return {trial_id: TrialResult.from_dict(payload)
+                    for trial_id, payload in payloads.items()}
+
+        attempts: Dict[int, int] = {t.trial_id: 0 for t in pending}
+        queue: List[Trial] = list(pending)
+        while queue:
+            pool = self._ensure_pool()
+            if any(attempts[t.trial_id] for t in queue):
+                # retries run ONE at a time: a poison trial breaks every
+                # pool it touches, and each break fails its in-flight
+                # siblings too — isolating retries stops innocent trials
+                # from absorbing the poison trial's deaths (and being
+                # quarantined as collateral damage)
+                queue.sort(key=lambda t: t.trial_id)
+                wave = [queue.pop(0)]
+            else:
+                wave = queue
+                queue = []
+            futures = {
+                pool.submit(execute_trial, self.task, trial,
+                            attempts[trial.trial_id]): trial
+                for trial in wave}
+            submitted = time.monotonic()
+            outstanding = set(futures)
+            pool_damaged = False
+            while outstanding:
+                if self.trial_timeout_s is None:
+                    done, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                else:
+                    budget = (submitted + self.trial_timeout_s
+                              - time.monotonic())
+                    done, outstanding = wait(outstanding,
+                                             timeout=max(budget, 0.0),
+                                             return_when=FIRST_COMPLETED)
+                    if not done and budget <= 0:
+                        # the wave's time budget is gone: everything
+                        # still running is hung — fail those trials and
+                        # walk away from the pool that holds them
+                        for future in outstanding:
+                            trial = futures[future]
+                            self.stats.timeouts += 1
+                            self._m_trials.inc(status="timeout")
+                            record(trial, self._failure_payload(
+                                trial, "failed",
+                                f"trial exceeded the "
+                                f"{self.trial_timeout_s}s timeout"))
+                        outstanding = set()
+                        pool_damaged = True
+                        continue
+                for future in done:
+                    trial = futures[future]
+                    try:
+                        payload = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        # execute_trial catches in-process errors itself,
+                        # so reaching here means the worker *process*
+                        # died and the pool is broken
+                        pool_damaged = True
+                        self.stats.worker_deaths += 1
+                        self._m_trials.inc(status="worker_died")
+                        attempt = attempts[trial.trial_id]
+                        if attempt < self.max_trial_retries:
+                            attempts[trial.trial_id] = attempt + 1
+                            self.stats.retried += 1
+                            self._m_retries.inc()
+                            if self.retry_backoff_s:
+                                time.sleep(self.retry_backoff_s
+                                           * (2 ** attempt))
+                            queue.append(trial)
+                            continue
+                        status = ("quarantined" if self.max_trial_retries
+                                  else "worker_died")
+                        if status == "quarantined":
+                            self.stats.quarantined += 1
+                            self._m_trials.inc(status="quarantined")
+                        record(trial, self._failure_payload(
+                            trial, status,
+                            f"worker process died "
+                            f"(attempt {attempt + 1} of "
+                            f"{self.max_trial_retries + 1}): "
+                            f"{type(exc).__name__}: {exc}"))
+                        continue
+                    record(trial, payload)
+            if pool_damaged:
+                self._abandon_pool()
         return {trial_id: TrialResult.from_dict(payload)
                 for trial_id, payload in payloads.items()}
 
@@ -228,7 +351,6 @@ class TrialScheduler:
             journal.open(self.fingerprint(), append=bool(replay))
             self._m_journal.inc(kind="header")
 
-        pool: Optional[ProcessPoolExecutor] = None
         results: List[TrialResult] = []
         stopped: Optional[Dict[str, Any]] = None
         try:
@@ -236,19 +358,11 @@ class TrialScheduler:
                 batch = self.strategy.ask()
                 if not batch:
                     break
+                fault_site("scheduler.batch")
                 self.stats.batches += 1
                 self._m_batches.inc()
                 pending = [t for t in batch if t.trial_id not in replay]
-                if pending and pool is None and self.workers > 1:
-                    pool = ProcessPoolExecutor(
-                        max_workers=self.workers,
-                        mp_context=multiprocessing.get_context(
-                            self.mp_context))
-                fresh = self._execute_batch(pool, pending, journal)
-                if self._pool_broken and pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    pool = None  # lazily rebuilt for the next batch
-                    self._pool_broken = False
+                fresh = self._execute_batch(pending, journal)
                 for trial in sorted(batch, key=lambda t: t.trial_id):
                     if trial.trial_id in replay:
                         result = self._replayed_result(
@@ -276,8 +390,9 @@ class TrialScheduler:
                                        "reason": str(reason),
                                        "stopper": self.stopper.name}
         finally:
-            if pool is not None:
-                pool.shutdown()
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
             if journal is not None:
                 # the footer is what `repro runs` surfaces: session
                 # accounting (incl. worker deaths, once swallowed by the

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core import AutoACConfig, evaluate_architecture
 from ..datasets import HeteroDataset
+from ..faults import fault_site
 from ..runs.timeline import timeline_from_evaluation
 from ..training import set_seed
 from .task import TuneTask, slot_labels
@@ -51,9 +52,19 @@ def _search_config(task: TuneTask, trial: Trial) -> AutoACConfig:
     return dataclasses.replace(base, **overrides) if overrides else base
 
 
-def execute_trial(task: TuneTask, trial: Trial) -> Dict[str, Any]:
-    """Evaluate one trial; never raises — failures become failed results."""
+def execute_trial(task: TuneTask, trial: Trial,
+                  attempt: int = 0) -> Dict[str, Any]:
+    """Evaluate one trial; never raises — failures become failed results.
+
+    ``attempt`` is the scheduler's retry counter for this trial.  It
+    does not change the evaluation (the trial's pre-derived seed does
+    all the seeding) — it exists so the ``worker.trial`` fault site can
+    key kill rules as ``"<trial_id>:<attempt>"``: a plan that kills
+    ``"3:0"`` takes down the first attempt's worker process and lets
+    the retry through, deterministically, on every run.
+    """
     try:
+        fault_site("worker.trial", key=f"{int(trial.trial_id)}:{int(attempt)}")
         dataset, labels = _dataset_for(task)
         set_seed(trial.seed)
         space = task.space()

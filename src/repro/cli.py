@@ -33,6 +33,27 @@ def _add_scale(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_fault_plan(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-plan", default=None,
+                        help="arm a chaos fault plan: path to a JSON file "
+                             "or inline JSON (see docs/ROBUSTNESS.md); "
+                             "worker processes inherit it")
+
+
+def _arm_fault_plan(args: argparse.Namespace) -> None:
+    """Arm ``--fault-plan`` (inline JSON or a path) process-wide."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return
+    from .faults import FaultPlan, arm
+
+    plan = (FaultPlan.from_json(spec) if spec.lstrip().startswith("{")
+            else FaultPlan.load(spec))
+    arm(plan)
+    print(f"fault plan armed: seed={plan.seed}, "
+          f"sites={', '.join(plan.sites())}", file=sys.stderr)
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     from .datasets import dataset_names, get_dataset
     from .datasets.stats import dataset_statistics, render_table1
@@ -265,15 +286,22 @@ def _cmd_tune(args: argparse.Namespace) -> int:
                               num_ops=task.num_ops,
                               max_budget=task.max_budget, seed=args.seed,
                               **kwargs)
+    _arm_fault_plan(args)
     scheduler = TrialScheduler(task, strategy, workers=args.workers,
                                journal=args.journal, resume=args.resume,
-                               stopper=_build_stopper(args))
+                               stopper=_build_stopper(args),
+                               max_trial_retries=args.trial_retries,
+                               trial_timeout_s=(args.trial_timeout or None))
     report = scheduler.run()
     stats = report.stats
     print(f"{args.strategy}: {stats.executed} trials run, "
           f"{stats.replayed} replayed from journal, {stats.failed} failed"
           + (f", {stats.worker_deaths} worker deaths"
-             if stats.worker_deaths else ""))
+             if stats.worker_deaths else "")
+          + (f", {stats.retried} retried" if stats.retried else "")
+          + (f", {stats.quarantined} quarantined"
+             if stats.quarantined else "")
+          + (f", {stats.timeouts} timed out" if stats.timeouts else ""))
     if report.stopped:
         print(f"stopped early by {report.stopped['stopper']} at trial "
               f"{report.stopped['trial_id']}: {report.stopped['reason']}")
@@ -364,9 +392,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serving import EngineConfig, InferenceEngine, ServingServer
+    from .serving import (
+        EngineConfig,
+        InferenceEngine,
+        ServerConfig,
+        ServingServer,
+    )
     from .telemetry import EventSink, Tracer
 
+    _arm_fault_plan(args)
     # spans go to --telemetry-out (JSONL); access records share that
     # sink when present, else fall back to stderr so --access-log alone
     # still produces structured lines somewhere visible
@@ -379,12 +413,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.bundle, EngineConfig(max_batch_size=args.batch_size,
                                   cache_size=args.cache_size),
         tracer=tracer)
-    server = ServingServer(engine, host=args.host, port=args.port,
-                           access_sink=access_sink)
+    if args.wal:
+        replayed = engine.attach_wal(args.wal)
+        if replayed:
+            print(f"replayed {replayed} onboard(s) from {args.wal}")
+    server = ServingServer(
+        engine, host=args.host, port=args.port, access_sink=access_sink,
+        config=ServerConfig(deadline_ms=(args.deadline_ms or None),
+                            max_inflight=args.max_inflight,
+                            max_queue=args.max_queue,
+                            max_body_bytes=args.max_body_bytes))
+    server.register_sigterm_drain()
     host, port = server.address
     print(f"serving {args.bundle} at http://{host}:{port} "
           f"(/healthz /readyz /predict /onboard /stats /metrics); "
-          f"Ctrl-C to stop")
+          f"Ctrl-C to stop, SIGTERM to drain")
     if args.telemetry_out:
         print(f"trace spans -> {args.telemetry_out}")
     try:
@@ -392,6 +435,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         server.shutdown()
     finally:
+        engine.close()
         if trace_sink is not None:
             trace_sink.close()
     return 0
@@ -579,6 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--runs-dir", default=None,
                         help="also register the finished journal in this "
                              "run registry directory")
+    p_tune.add_argument("--trial-retries", type=int, default=2,
+                        help="re-run a trial whose worker process died up "
+                             "to N times before quarantining it (0 → off)")
+    p_tune.add_argument("--trial-timeout", type=float, default=0.0,
+                        help="seconds before a hung trial wave is "
+                             "abandoned (0 → no timeout)")
+    _add_fault_plan(p_tune)
     p_tune.set_defaults(func=_cmd_tune)
 
     p_strategies = sub.add_parser(
@@ -625,6 +676,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--telemetry-out", default=None,
                          help="JSONL file for trace spans (+ access "
                               "records when --access-log is set)")
+    p_serve.add_argument("--deadline-ms", type=float, default=0.0,
+                         help="per-POST time budget; expiry answers 504 "
+                              "(0 → no deadline)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         help="POSTs executing concurrently before "
+                              "arrivals queue")
+    p_serve.add_argument("--max-queue", type=int, default=32,
+                         help="queued POSTs before arrivals are shed "
+                              "with 503 + Retry-After")
+    p_serve.add_argument("--max-body-bytes", type=int,
+                         default=8 * 1024 * 1024,
+                         help="request bodies above this answer 413")
+    p_serve.add_argument("--wal", default=None,
+                         help="onboarding write-ahead log (JSONL): "
+                              "replayed on start, appended per onboard")
+    _add_fault_plan(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_metrics = sub.add_parser(

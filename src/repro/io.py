@@ -1,0 +1,181 @@
+"""Durable file writes — the one place tmp+fsync+rename lives.
+
+Three writers share these primitives: the :class:`~repro.serving.
+ModelBundle` artifact writer, the autotune :class:`~repro.autotune.
+TrialJournal`, and the serving onboard WAL.  Two disciplines:
+
+* **whole-file artifacts** go through :func:`atomic_write_bytes` —
+  write to a same-directory temp file, flush + fsync, ``os.replace``
+  onto the destination, fsync the directory.  A crash at any instant
+  leaves either the complete old file or the complete new file, never
+  a torn mix (the stale temp file is the only possible residue).
+* **append-only logs** go through :class:`JsonlAppender` — every line
+  is flushed and fsync'd before the call returns, and opening an
+  existing log seals a torn final line (kill mid-write) with a newline
+  so the next record cannot be glued to the fragment.
+
+Both paths carry fault-injection sites (``io.atomic_write``,
+``journal.append``) so the chaos harness can corrupt payloads or kill
+the process exactly between the dangerous instructions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io as _stdlib_io
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from .faults import fault_site
+
+PathLike = Union[str, Path]
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 of a byte string (the artifact checksum algorithm)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def fsync_directory(path: PathLike) -> None:
+    """fsync a directory so a rename inside it survives power loss.
+
+    Silently skipped where directories cannot be opened (e.g. Windows);
+    the rename itself is still atomic on the filesystem level.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes,
+                       fault_key: str = None) -> Path:
+    """Durably replace ``path`` with ``data``; returns the path.
+
+    The payload passes through the ``io.atomic_write`` fault site first,
+    so an armed ``corrupt`` rule models a torn/bit-rotted write that the
+    rename discipline cannot prevent (lying disks, truncated copies) —
+    the case checksums exist for.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = fault_site("io.atomic_write", payload=bytes(data), key=fault_key)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    fsync_directory(path.parent)
+    return path
+
+
+@contextmanager
+def atomic_writer(path: PathLike,
+                  fault_key: str = None) -> Iterator[_stdlib_io.BytesIO]:
+    """Context manager yielding a buffer committed atomically on exit.
+
+    ``np.savez``-style writers that want a file object use this::
+
+        with atomic_writer(path) as buffer:
+            np.savez_compressed(buffer, **arrays)
+
+    Nothing touches ``path`` until the body completes without raising.
+    """
+    buffer = _stdlib_io.BytesIO()
+    yield buffer
+    atomic_write_bytes(path, buffer.getvalue(), fault_key=fault_key)
+
+
+class JsonlAppender:
+    """Append-only JSONL writer with per-line flush + fsync.
+
+    Opening with ``append=True`` keeps existing lines and seals a torn
+    tail (a final line without ``\\n`` left by a kill mid-write) so the
+    fragment parses as one ignorable line instead of corrupting the
+    next record.  ``append=False`` truncates.
+    """
+
+    def __init__(self, path: PathLike, append: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        seal_torn_tail = False
+        if append and self.path.exists():
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    seal_torn_tail = handle.read(1) != b"\n"
+        self._handle = open(self.path, "a" if append else "w",
+                            encoding="utf-8")
+        if seal_torn_tail:
+            self._handle.write("\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        """Append one JSON record; durable when the call returns."""
+        if self._handle is None:
+            raise ValueError(f"appender for {self.path} is closed")
+        fault_site("journal.append", key=str(payload.get("kind")))
+        self._handle.write(json.dumps(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL file tolerantly: blank and torn lines are dropped.
+
+    A missing file reads as an empty list — callers that need stricter
+    semantics (e.g. the journal's header validation) layer them on top.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn tail from a kill mid-write
+    return records
+
+
+__all__ = [
+    "JsonlAppender",
+    "atomic_write_bytes",
+    "atomic_writer",
+    "fsync_directory",
+    "read_jsonl",
+    "sha256_hex",
+]

@@ -1,15 +1,31 @@
 """``repro.serving`` — trained-model artifacts and the online inference layer.
 
 Turns a finished search + retrain run into a servable artifact
-(:class:`ModelBundle`), answers queries through a micro-batching
-:class:`InferenceEngine` with an LRU result cache, onboards brand-new
-nodes online (:mod:`repro.serving.onboarding`), and exposes the whole
-thing over stdlib HTTP (:class:`ServingServer`).  Entry points on the
-CLI: ``repro export`` / ``repro serve`` / ``repro predict``.
+(:class:`ModelBundle`, written atomically with per-array checksums —
+:class:`BundleIntegrityError` on load means a torn/corrupt file),
+answers queries through a micro-batching :class:`InferenceEngine` with
+an LRU result cache, onboards brand-new nodes online
+(:mod:`repro.serving.onboarding`, crash-safe via the
+:class:`OnboardWAL`), and exposes the whole thing over stdlib HTTP
+(:class:`ServingServer` with per-request deadlines, bounded admission,
+and a circuit breaker — see :mod:`repro.serving.admission`).  Entry
+points on the CLI: ``repro export`` / ``repro serve`` /
+``repro predict``.
 """
 
+from .admission import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    ShedError,
+    check_deadline,
+    deadline_scope,
+)
 from .artifact import (
     BUNDLE_FORMAT_VERSION,
+    BundleIntegrityError,
     DatasetSpec,
     ModelBundle,
     build_bundle,
@@ -18,20 +34,33 @@ from .artifact import (
 )
 from .engine import EngineConfig, InferenceEngine
 from .onboarding import OnboardResult, OnboardingManager, parse_relation
-from .server import ServingServer, make_handler
+from .server import ServerConfig, ServingServer, make_handler
+from .wal import OnboardWAL, WalReplayError
 
 __all__ = [
+    "AdmissionController",
     "BUNDLE_FORMAT_VERSION",
+    "BundleIntegrityError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "DatasetSpec",
+    "Deadline",
+    "DeadlineExceeded",
     "ModelBundle",
+    "OnboardWAL",
+    "ShedError",
+    "WalReplayError",
     "build_bundle",
     "bundle_from_result",
+    "check_deadline",
+    "deadline_scope",
     "default_label_names",
     "EngineConfig",
     "InferenceEngine",
     "OnboardResult",
     "OnboardingManager",
     "parse_relation",
+    "ServerConfig",
     "ServingServer",
     "make_handler",
 ]

@@ -9,10 +9,22 @@ primitives as :mod:`repro.core.serialize` and carrying the same
 ``format_version`` discipline.  Loading a bundle in a fresh process and
 instantiating it reproduces the in-process retrained model *exactly* —
 the round-trip guarantee the serving engine relies on.
+
+Durability (docs/ROBUSTNESS.md): :meth:`ModelBundle.save` writes through
+:func:`repro.io.atomic_write_bytes` — tmp + fsync + rename — so a crash
+mid-save can never tear the artifact at its published path, and the
+archive carries a per-array SHA-256 checksum table.  :meth:`ModelBundle.
+load` verifies every checksum and raises :class:`BundleIntegrityError`
+on any mismatch, truncation, or unreadable archive: a torn or bit-rotted
+bundle is *rejected*, never trusted.  Pre-checksum bundles still load
+(nothing to verify) so existing artifacts stay servable.
 """
 
 from __future__ import annotations
 
+import json
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -30,6 +42,7 @@ from ..core.serialize import (
     unpack_json,
 )
 from ..datasets import HeteroDataset, get_dataset
+from ..io import atomic_writer, sha256_hex
 from ..models import build_model
 from ..tensor import no_grad
 
@@ -39,6 +52,20 @@ BUNDLE_FORMAT_VERSION = FORMAT_VERSION
 
 _MODEL_PREFIX = "model__state__"
 _FEATURES_PREFIX = "features__state__"
+
+#: archive entry holding the checksum table; excluded from its own table
+_CHECKSUMS_KEY = "checksums_json"
+
+
+class BundleIntegrityError(ValueError):
+    """A bundle failed load-time verification (torn, truncated, corrupt)."""
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """SHA-256 over dtype, shape, and raw bytes (catches silent reshapes)."""
+    contiguous = np.ascontiguousarray(array)
+    header = f"{contiguous.dtype.str}|{contiguous.shape}|".encode()
+    return sha256_hex(header + contiguous.tobytes())
 
 
 @dataclass(frozen=True)
@@ -101,7 +128,12 @@ class ModelBundle:
         }
 
     def save(self, path: PathLike) -> Path:
-        """Write the bundle to ``path`` (``.npz``); returns the path."""
+        """Atomically write the bundle to ``path`` (``.npz``).
+
+        The archive is assembled in memory, checksummed per array, and
+        committed with tmp + fsync + rename — the published path always
+        holds either the previous complete bundle or this one.
+        """
         path = Path(path)
         arrays = {
             "format_version": np.array([BUNDLE_FORMAT_VERSION],
@@ -115,21 +147,70 @@ class ModelBundle:
             arrays[_MODEL_PREFIX + escape_state_key(key)] = value
         for key, value in self.features_state.items():
             arrays[_FEATURES_PREFIX + escape_state_key(key)] = value
-        np.savez_compressed(path, **arrays)
+        checksums = {key: _array_digest(np.asarray(value))
+                     for key, value in arrays.items()}
+        arrays[_CHECKSUMS_KEY] = pack_json({"algo": "sha256",
+                                            "arrays": checksums})
+        with atomic_writer(path, fault_key=path.name) as buffer:
+            np.savez_compressed(buffer, **arrays)
         return path
+
+    @staticmethod
+    def _verify(archive, path: Path) -> None:
+        """Check every recorded checksum; absent table → legacy, skip."""
+        if _CHECKSUMS_KEY not in archive.files:
+            return
+        table = unpack_json(archive[_CHECKSUMS_KEY])
+        recorded: Dict[str, str] = dict(table.get("arrays") or {})
+        missing = sorted(set(recorded) - set(archive.files))
+        if missing:
+            raise BundleIntegrityError(
+                f"{path} is torn: checksummed arrays {missing} are absent "
+                f"from the archive")
+        for key, expected in sorted(recorded.items()):
+            actual = _array_digest(np.asarray(archive[key]))
+            if actual != expected:
+                raise BundleIntegrityError(
+                    f"{path} is corrupt: array {key!r} sha256 mismatch "
+                    f"(recorded {expected[:12]}…, found {actual[:12]}…); "
+                    f"refusing to serve a torn artifact")
 
     @classmethod
     def load(cls, path: PathLike) -> "ModelBundle":
-        """Read a bundle back; raises ``ValueError`` on malformed archives."""
+        """Read a bundle back, verifying integrity.
+
+        Raises :class:`BundleIntegrityError` for unreadable/torn/corrupt
+        archives and plain ``ValueError`` for well-formed archives of the
+        wrong kind.
+        """
         path = Path(path)
         if not path.exists():
             raise FileNotFoundError(path)
-        with np.load(path) as archive:
-            require_arrays(
-                archive,
-                ["manifest_json", "assignment", "cluster_labels", "completed"],
-                path, kind="model-bundle")
-            manifest = unpack_json(archive["manifest_json"])
+        try:
+            archive_ctx = np.load(path)
+        except (zipfile.BadZipFile, OSError, ValueError) as error:
+            raise BundleIntegrityError(
+                f"{path} is not a readable bundle archive "
+                f"(truncated or corrupt?): {error}") from error
+        with archive_ctx as archive:
+            try:
+                # verify checksums BEFORE structural checks: a corrupt
+                # archive should report as torn, not merely malformed
+                cls._verify(archive, path)
+                require_arrays(
+                    archive,
+                    ["manifest_json", "assignment", "cluster_labels",
+                     "completed"],
+                    path, kind="model-bundle")
+                manifest = unpack_json(archive["manifest_json"])
+            except BundleIntegrityError:
+                raise
+            except (zipfile.BadZipFile, zlib.error, OSError, KeyError,
+                    UnicodeDecodeError, json.JSONDecodeError) as error:
+                # individual members unreadable → torn mid-archive
+                raise BundleIntegrityError(
+                    f"{path} has unreadable archive members "
+                    f"(truncated or corrupt?): {error}") from error
             if manifest.get("kind") != "autoac-model-bundle":
                 raise ValueError(f"{path} is not a model bundle "
                                  f"(kind={manifest.get('kind')!r})")
@@ -268,5 +349,6 @@ def bundle_from_result(result, dataset: HeteroDataset,
     )
 
 
-__all__ = ["BUNDLE_FORMAT_VERSION", "DatasetSpec", "ModelBundle",
-           "build_bundle", "bundle_from_result", "default_label_names"]
+__all__ = ["BUNDLE_FORMAT_VERSION", "BundleIntegrityError", "DatasetSpec",
+           "ModelBundle", "build_bundle", "bundle_from_result",
+           "default_label_names"]

@@ -45,11 +45,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..datasets import HeteroDataset
+from ..faults import fault_site
 from ..graph.adjacency import LRUCache
 from ..telemetry import MetricsRegistry, Tracer, get_tracer
 from ..tensor import Tensor, no_grad
+from .admission import check_deadline
 from .artifact import ModelBundle
 from .onboarding import OnboardingManager, OnboardResult
+from .wal import OnboardWAL, WalReplayError
 
 _MISS = object()
 
@@ -103,6 +106,7 @@ class InferenceEngine:
         self._pending: List[Tuple[str, int]] = []
         self._lock = threading.RLock()
         self._onboarding: Optional[OnboardingManager] = None
+        self._wal: Optional[OnboardWAL] = None
         self._started = time.perf_counter()
         #: a PRIVATE registry per engine, so two engines in one process
         #: never cross-count; the HTTP server merges it with the global
@@ -143,6 +147,8 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def _forward_logits(self) -> np.ndarray:
         """Full target-type logits from the frozen base state."""
+        check_deadline("forward")
+        fault_site("engine.forward", key="predict")
         self._m_forwards.inc(kind="predict")
         with self.tracer.span("forward", capture_ops=True, kind="predict"):
             with no_grad():
@@ -155,6 +161,8 @@ class InferenceEngine:
             raise ValueError(
                 f"backbone {self.bundle.model_name!r} only embeds the "
                 f"target type; embed() needs a full-graph model")
+        check_deadline("forward")
+        fault_site("engine.forward", key="embed")
         self._m_forwards.inc(kind="embed")
         with self.tracer.span("forward", capture_ops=True, kind="embed"):
             with no_grad():
@@ -193,6 +201,8 @@ class InferenceEngine:
         ``cache="hit"`` / ``cache="miss"`` so warm dictionary lookups
         never dilute (or hide) the cost of a cold query.
         """
+        check_deadline("batch")
+        fault_site("engine.flush")
         with self.tracer.span("batch", queries=len(requests)) as span:
             start = time.perf_counter()
             results: Dict[Tuple[str, int], np.ndarray] = {}
@@ -338,15 +348,63 @@ class InferenceEngine:
     # ------------------------------------------------------------------
     def onboard(self, node_type: str, edges,
                 raw_features=None) -> OnboardResult:
-        """Add a new node online and return its (frozen) serving result."""
+        """Add a new node online and return its (frozen) serving result.
+
+        With a WAL attached (:meth:`attach_wal`), the request is
+        durably logged *after* the in-memory onboard succeeds and
+        *before* this method returns — so every result a caller ever
+        saw is replayable, and a crashed half-onboard (which the
+        manager rolled back anyway) never reaches the log.
+        """
         with self._lock:
             if self._onboarding is None:
                 self._onboarding = OnboardingManager(
                     self.bundle, self.dataset, self._h0,
                     fanout=self.config.onboard_fanout,
                     registry=self.metrics, tracer=self.tracer)
-            return self._onboarding.onboard(node_type, edges,
-                                            raw_features=raw_features)
+            fault_site("onboard.apply", key=node_type)
+            result = self._onboarding.onboard(node_type, edges,
+                                              raw_features=raw_features)
+            if self._wal is not None and self._wal.writable:
+                self._wal.append(node_type, edges, raw_features=raw_features)
+            return result
+
+    def attach_wal(self, wal, replay: bool = True) -> int:
+        """Attach an onboarding WAL (path or :class:`OnboardWAL`).
+
+        Replays existing records through the normal onboarding path
+        first (rebuilding the overlay a crash dropped), then opens the
+        log for appending.  Returns the number of records replayed.
+        Replay runs with the WAL closed, so replayed onboards are not
+        re-appended.
+        """
+        if not isinstance(wal, OnboardWAL):
+            wal = OnboardWAL(wal)
+        with self._lock:
+            if self._wal is not None:
+                raise ValueError("engine already has a WAL attached")
+            replayed = 0
+            if replay:
+                for index, record in enumerate(wal.records()):
+                    try:
+                        self.onboard(record["node_type"],
+                                     record.get("edges") or {},
+                                     raw_features=record.get("raw_features"))
+                    except Exception as error:
+                        raise WalReplayError(
+                            f"replaying {wal.path} record {index} "
+                            f"({record.get('node_type')!r}) failed: "
+                            f"{error}") from error
+                    replayed += 1
+            self._wal = wal.open()
+            return replayed
+
+    def close(self) -> None:
+        """Release owned resources (currently: the WAL file handle)."""
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
 
     @property
     def num_onboarded(self) -> int:

@@ -1,0 +1,119 @@
+"""Write-ahead log for online onboarding — crash-safe overlay state.
+
+Onboarded nodes live only in the engine's in-memory overlay; a crash
+between onboarding a node and the next offline retrain would silently
+un-onboard it (and its HTTP 200 reply already promised otherwise).
+The WAL closes that hole:
+
+* after each onboard **succeeds in memory** and **before the HTTP reply
+  is sent**, the request (node type, edges, raw features) is appended
+  to an fsync'd JSONL log (the shared :class:`repro.io.JsonlAppender`
+  discipline — torn tails are sealed, every line durable on return);
+* on engine start, :meth:`InferenceEngine.attach_wal` replays the log
+  in order through the normal onboarding path, rebuilding the exact
+  overlay — onboarding is deterministic (sampler seeded by global id),
+  so replay reproduces the original predictions.
+
+The WAL records *requests*, not results: results are derivable, and a
+request-level log stays valid across bundle-compatible code changes.
+A record that fails to replay (e.g. the bundle on disk changed under
+the log) raises :class:`WalReplayError` naming the offending line —
+serving with a silently partial overlay would break the 200-reply
+promise the log exists to keep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..io import JsonlAppender, read_jsonl
+
+#: record schema version, bumped on incompatible layout changes
+WAL_FORMAT_VERSION = 1
+
+
+class WalReplayError(RuntimeError):
+    """A WAL record could not be replayed against the loaded bundle."""
+
+
+def _normalize_edges(edges) -> Dict[str, List[int]]:
+    """Canonical JSON form: ``"src:name:dst"`` → sorted-order id list."""
+    normalized: Dict[str, List[int]] = {}
+    for key, value in (edges or {}).items():
+        if not isinstance(key, str):
+            key = ":".join(str(part) for part in key)
+        ids = np.asarray(value, dtype=np.int64).ravel()
+        normalized[key] = [int(node_id) for node_id in ids]
+    return normalized
+
+
+class OnboardWAL:
+    """Append-only onboarding log over one JSONL file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._appender: Optional[JsonlAppender] = None
+
+    # -- reading --------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        """Parse the replayable records (missing file → empty list).
+
+        Tolerant of a torn tail (the in-flight record of a crash died
+        *before* its HTTP reply, so dropping it keeps the promise) but
+        strict about versioned records it cannot understand.
+        """
+        entries = []
+        for payload in read_jsonl(self.path):
+            if payload.get("kind") != "onboard":
+                continue
+            version = payload.get("format_version", WAL_FORMAT_VERSION)
+            if version != WAL_FORMAT_VERSION:
+                raise WalReplayError(
+                    f"{self.path} has WAL format {version!r}; "
+                    f"this build reads {WAL_FORMAT_VERSION}")
+            entries.append(payload)
+        return entries
+
+    # -- writing --------------------------------------------------------
+    def open(self) -> "OnboardWAL":
+        """Open for appending (existing records kept, torn tail sealed)."""
+        if self._appender is None:
+            self._appender = JsonlAppender(self.path, append=True)
+        return self
+
+    @property
+    def writable(self) -> bool:
+        return self._appender is not None
+
+    def append(self, node_type: str, edges,
+               raw_features=None) -> None:
+        """Durably log one successful onboard request."""
+        if self._appender is None:
+            raise ValueError(f"WAL {self.path} is not open for writing")
+        record: Dict[str, Any] = {
+            "kind": "onboard",
+            "format_version": WAL_FORMAT_VERSION,
+            "node_type": node_type,
+            "edges": _normalize_edges(edges),
+        }
+        if raw_features is not None:
+            raw = np.asarray(raw_features, dtype=np.float64).ravel()
+            record["raw_features"] = [float(value) for value in raw]
+        self._appender.write(record)
+
+    def close(self) -> None:
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+
+    def __enter__(self) -> "OnboardWAL":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["OnboardWAL", "WAL_FORMAT_VERSION", "WalReplayError"]

@@ -459,13 +459,13 @@ class TestExport:
             best_assignment(report, imdb_tiny, broken)
 
 
-def _exit_on_trial_one(task, trial):
+def _exit_on_trial_one(task, trial, attempt=0):
     """Fork-inherited stand-in for execute_trial that dies on trial 1."""
     import os
 
     if trial.trial_id == 1:
         os._exit(13)  # simulates an OOM kill / segfault of the worker
-    return execute_trial(task, trial)
+    return execute_trial(task, trial, attempt)
 
 
 class TestWorkerDeath:
@@ -486,8 +486,12 @@ class TestWorkerDeath:
                                   population_size=3, sample_size=2,
                                   batch_size=2)
         journal = tmp_path / "death.jsonl"
+        # retries off: this test pins down the *transient* death
+        # accounting (the self-healing retry/quarantine path has its
+        # own tests in test_faults.py)
         report = TrialScheduler(task, strategy, workers=2,
-                                mp_context="fork", journal=journal).run()
+                                mp_context="fork", journal=journal,
+                                max_trial_retries=0).run()
         assert len(report.results) == 5
         dead = {r.trial_id: r for r in report.results
                 if r.status == "worker_died"}

@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke serve-smoke chaos-smoke profile report
+.PHONY: verify test bench benchmarks bench-smoke bench-scale tune-smoke serve-smoke serve-scale chaos-smoke profile report
 
 # Tier-1 verification (ROADMAP.md): the full test suite, fail-fast.
 verify:
@@ -41,11 +41,21 @@ tune-smoke:
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/serve_smoke.py
 
+# Serving-tier scale guard: preforked multi-worker tier vs one worker
+# under a closed-loop client pool, then open-loop saturation for tail
+# latency; REPRO_TIER_WORKERS picks the fleet size (default 4); floors
+# adapt to the host's core count (see docs/SCALING.md).  Rows land in
+# BENCH_perf.json.
+serve-scale:
+	cd benchmarks && PYTHONPATH=../src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest -q \
+		test_serving_scale.py
+
 # Chaos smoke: deterministic fault injection against the live stack —
 # serving under injected flush failures (no request lost without a 5xx),
 # corrupted bundle writes rejected at load, killed trial workers
-# self-healing to the identical leaderboard; leaves CHAOS_report.jsonl
-# behind (see docs/ROBUSTNESS.md).
+# self-healing to the identical leaderboard, and tier workers shot
+# mid-predict with zero client-visible failures; leaves
+# CHAOS_report.jsonl behind (see docs/ROBUSTNESS.md).
 chaos-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) scripts/chaos_smoke.py
 

@@ -17,10 +17,14 @@ from __future__ import annotations
 
 import json
 import os
-import subprocess
+import sys
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.perf.recording import current_commit, merge_bench_rows  # noqa: E402
 
 SCALE = os.environ.get("REPRO_SCALE", "tiny")
 
@@ -54,21 +58,6 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
-def _current_commit() -> str:
-    """Short HEAD hash, with ``-dirty`` appended for uncommitted changes
-    so trajectory rows are never attributed to a commit they weren't
-    measured on."""
-    try:
-        out = subprocess.run(
-            ["git", "describe", "--always", "--dirty"],
-            cwd=BENCH_PATH.parent, capture_output=True, text=True, timeout=10)
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except (OSError, subprocess.SubprocessError):
-        pass
-    return "unknown"
-
-
 @pytest.fixture(scope="session")
 def record_benchmark():
     """Session-scoped recorder appending rows to ``BENCH_perf.json``.
@@ -80,14 +69,14 @@ def record_benchmark():
             record_benchmark("sparse_speedup", result["speedup"], "x")
 
     Rows are buffered and flushed once at session end, merged with the
-    rows already on disk so repeated ``make bench`` runs accumulate a
-    trajectory.  The merge is **idempotent per** ``(name, commit)``: a
-    re-run at the same commit (or the same dirty tree) replaces its
-    earlier measurement instead of duplicating the row — only moving to
-    a new commit grows the trajectory.
+    rows already on disk via :func:`repro.perf.recording.merge_bench_rows`
+    so repeated ``make bench`` runs accumulate a trajectory.  The merge
+    is idempotent per ``(name, commit)``, and a re-record at a *clean*
+    commit evicts any provisional ``-dirty`` rows of the same benchmark
+    — only moving to a new clean commit grows the trajectory.
     """
     rows = []
-    commit = _current_commit()
+    commit = current_commit(BENCH_PATH.parent)
 
     def record(name: str, value: float, unit: str) -> None:
         rows.append({"name": str(name), "value": float(value),
@@ -105,7 +94,5 @@ def record_benchmark():
             existing = []
     if not isinstance(existing, list):
         existing = []
-    fresh = {(row["name"], row["commit"]) for row in rows}
-    kept = [row for row in existing
-            if (row.get("name"), row.get("commit")) not in fresh]
-    BENCH_PATH.write_text(json.dumps(kept + rows, indent=2) + "\n")
+    BENCH_PATH.write_text(
+        json.dumps(merge_bench_rows(existing, rows), indent=2) + "\n")

@@ -1,0 +1,247 @@
+"""Serving tier — horizontal scaling and tail latency under load.
+
+Not a paper table: this benchmark guards the preforked serving tier
+(`repro.serving.tier`).  It exports a small bundle, then measures:
+
+* **capacity** — sustained q/s of a 1-worker tier vs an N-worker tier
+  (``REPRO_TIER_WORKERS``, default 4) under the same closed-loop client
+  pool hammering distinct single-id predicts over keep-alive
+  connections;
+* **tail latency** — an *open-loop* generator then offers ~1.3× the
+  measured multi-worker capacity (arrivals on a fixed schedule, sent
+  whether or not earlier requests completed).  The front's admission
+  control sheds what it cannot serve (503 queue-full / 504 deadline),
+  so the p99 of the *successful* requests must stay bounded by the
+  request deadline instead of growing with the backlog.
+
+The scaling floor adapts to the machine: preforked workers buy
+throughput only when there are cores to run them, and CI containers
+span one to many cores.  ≥4 effective cores asserts the paper-style
+≥2.5× for 4 workers; 2–3 cores asserts ≥1.15×; a single core only
+asserts the tier is not catastrophically slower than one worker
+(coalescing keeps the penalty small).  Measured numbers are recorded
+to ``BENCH_perf.json`` either way, so the trajectory shows real
+hardware, not the floor.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.completion import FixedAssignmentFeatures, SearchSpace
+from repro.models import build_model
+from repro.serving import (
+    DatasetSpec,
+    EngineConfig,
+    FrontendConfig,
+    ServingTier,
+    TierConfig,
+    build_bundle,
+)
+from repro.training import NodeClassificationTrainer, TrainConfig, set_seed
+
+from conftest import SCALE, run_once
+
+HIDDEN_DIM = 32
+EPOCHS = 3
+CLIENTS = 8
+CAPACITY_SECONDS = 3.0
+OPEN_LOOP_SECONDS = 3.0
+DEADLINE_MS = 1500.0
+MULTI_WORKERS = max(2, int(os.environ.get("REPRO_TIER_WORKERS", "4")))
+EFFECTIVE_CORES = len(os.sched_getaffinity(0))
+
+
+def _scaling_floor(cores: int, workers: int) -> float:
+    if cores >= 4 and workers >= 4:
+        return 2.5
+    if cores >= 2 and workers >= 2:
+        return 1.15
+    return 0.45  # single core: no parallelism to buy, only overhead to cap
+
+
+def _export_bundle(tmp_dir: Path, scale: str) -> Path:
+    from repro.datasets import get_dataset
+
+    set_seed(0)
+    dataset = get_dataset("imdb", scale=scale, seed=0)
+    space = SearchSpace()
+    rng = np.random.default_rng(0)
+    assignment = rng.integers(0, len(space),
+                              size=dataset.missing_global_ids.shape[0])
+    features = FixedAssignmentFeatures(dataset, HIDDEN_DIM, assignment,
+                                       space=space)
+    model = build_model("gcn", dataset, hidden_dim=HIDDEN_DIM,
+                        out_dim=HIDDEN_DIM)
+    NodeClassificationTrainer(model, features, dataset,
+                              TrainConfig(epochs=EPOCHS, patience=10)).train()
+    bundle = build_bundle(dataset, DatasetSpec("imdb", scale, 0), "gcn",
+                          model, features, hidden_dim=HIDDEN_DIM,
+                          out_dim=HIDDEN_DIM)
+    num_target = dataset.graph.num_nodes_of(bundle.target_type)
+    return bundle.save(tmp_dir / "scale_bundle.npz"), num_target
+
+
+def _boot_tier(path: Path, workers: int) -> ServingTier:
+    tier = ServingTier(
+        path,
+        TierConfig(workers=workers),
+        # tiny cache: every distinct id pays real engine work, so q/s
+        # measures compute throughput rather than dict lookups
+        engine_config=EngineConfig(max_batch_size=64, cache_size=4),
+        frontend_config=FrontendConfig(deadline_ms=DEADLINE_MS,
+                                       max_queue=512))
+    return tier.start_background()
+
+
+def _predict_once(conn: http.client.HTTPConnection, node_id: int):
+    body = json.dumps({"node_ids": [node_id]})
+    started = time.perf_counter()
+    conn.request("POST", "/predict", body,
+                 {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    response.read()
+    return response.status, time.perf_counter() - started
+
+
+def _closed_loop(tier: ServingTier, seconds: float, ids_mod: int) -> dict:
+    """CLIENTS keep-alive connections sending back-to-back requests."""
+    host, port = tier.address
+    stop_at = time.perf_counter() + seconds
+    per_client = [[] for _ in range(CLIENTS)]
+
+    def client(slot: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        node_id = slot
+        try:
+            while time.perf_counter() < stop_at:
+                status, latency = _predict_once(conn, node_id % ids_mod)
+                per_client[slot].append((status, latency))
+                node_id += CLIENTS  # distinct ids across the pool
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(slot,))
+               for slot in range(CLIENTS)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    outcomes = [entry for bucket in per_client for entry in bucket]
+    ok = [latency for status, latency in outcomes if status == 200]
+    return {"qps": len(ok) / elapsed, "ok": len(ok),
+            "total": len(outcomes), "elapsed": elapsed}
+
+
+def _open_loop(tier: ServingTier, seconds: float, offered_qps: float,
+               ids_mod: int) -> dict:
+    """Fixed arrival schedule split across CLIENTS senders.
+
+    A sender that falls behind its schedule fires immediately instead
+    of skipping — the offered load does not slow down just because the
+    server is struggling (that is what makes the loop *open*)."""
+    host, port = tier.address
+    per_sender = offered_qps / CLIENTS
+    per_client = [[] for _ in range(CLIENTS)]
+
+    def client(slot: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=60)
+        begin = time.perf_counter()
+        sent = 0
+        try:
+            while True:
+                target = begin + sent / per_sender
+                now = time.perf_counter()
+                if now - begin >= seconds:
+                    break
+                if target > now:
+                    time.sleep(target - now)
+                status, latency = _predict_once(
+                    conn, (slot + sent * CLIENTS) % ids_mod)
+                per_client[slot].append((status, latency))
+                sent += 1
+        finally:
+            conn.close()
+
+    threads = [threading.Thread(target=client, args=(slot,))
+               for slot in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    outcomes = [entry for bucket in per_client for entry in bucket]
+    ok = sorted(latency for status, latency in outcomes if status == 200)
+    shed = sum(1 for status, _ in outcomes if status in (503, 504))
+    p99 = ok[min(len(ok) - 1, int(0.99 * len(ok)))] if ok else float("nan")
+    return {"sent": len(outcomes), "ok": len(ok), "shed": shed,
+            "p99_ms": p99 * 1e3,
+            "ok_rate": len(ok) / max(1, len(outcomes))}
+
+
+def drive(scale: str = SCALE) -> dict:
+    with tempfile.TemporaryDirectory() as tmp:
+        path, num_target = _export_bundle(Path(tmp), scale)
+
+        single = _boot_tier(path, workers=1)
+        try:
+            single_run = _closed_loop(single, CAPACITY_SECONDS, num_target)
+        finally:
+            single.shutdown()
+
+        multi = _boot_tier(path, workers=MULTI_WORKERS)
+        try:
+            multi_run = _closed_loop(multi, CAPACITY_SECONDS, num_target)
+            tail = _open_loop(multi, OPEN_LOOP_SECONDS,
+                              offered_qps=1.3 * max(multi_run["qps"], 1.0),
+                              ids_mod=num_target)
+        finally:
+            multi.shutdown()
+
+        return {
+            "workers": MULTI_WORKERS,
+            "effective_cores": EFFECTIVE_CORES,
+            "single_qps": single_run["qps"],
+            "multi_qps": multi_run["qps"],
+            "scaling": multi_run["qps"] / max(single_run["qps"], 1e-9),
+            "scaling_floor": _scaling_floor(EFFECTIVE_CORES, MULTI_WORKERS),
+            "p99_ms": tail["p99_ms"],
+            "open_loop_ok_rate": tail["ok_rate"],
+            "open_loop_sent": tail["sent"],
+            "open_loop_shed": tail["shed"],
+        }
+
+
+def test_serving_tier_scaling(benchmark, record_benchmark):
+    result = run_once(benchmark, drive)
+    record_benchmark("serving_tier_qps_single", result["single_qps"], "q/s")
+    record_benchmark("serving_tier_qps_multi", result["multi_qps"], "q/s")
+    record_benchmark("serving_tier_scaling", result["scaling"], "x")
+    record_benchmark("serving_tier_p99_ms", result["p99_ms"], "ms")
+    record_benchmark("serving_tier_open_loop_ok_rate",
+                     result["open_loop_ok_rate"], "frac")
+
+    print(f"\nserving tier: {result['workers']} workers on "
+          f"{result['effective_cores']} core(s) — "
+          f"{result['single_qps']:.0f} → {result['multi_qps']:.0f} q/s "
+          f"({result['scaling']:.2f}x, floor {result['scaling_floor']}x), "
+          f"open-loop p99 {result['p99_ms']:.0f} ms "
+          f"(ok rate {result['open_loop_ok_rate']:.2f}, "
+          f"shed {result['open_loop_shed']}/{result['open_loop_sent']})")
+
+    assert result["scaling"] >= result["scaling_floor"]
+    # the front answers 504 instead of queueing past the deadline, so
+    # successful-request p99 must not balloon under saturation (margin
+    # covers client-side scheduling noise on busy CI hosts)
+    assert result["p99_ms"] <= DEADLINE_MS * 2.0
+    assert result["open_loop_sent"] > 0
+    assert result["open_loop_ok_rate"] > 0.2

@@ -14,6 +14,7 @@ Two orthogonal tools:
 """
 
 from .profiler import ProfileReport, Profiler, profile
+from .recording import current_commit, is_dirty_commit, merge_bench_rows
 from .profiles import (
     RuntimeProfile,
     current_profile,
@@ -33,4 +34,7 @@ __all__ = [
     "Profiler",
     "ProfileReport",
     "profile",
+    "current_commit",
+    "is_dirty_commit",
+    "merge_bench_rows",
 ]

@@ -8,9 +8,11 @@ an LRU result cache, onboards brand-new nodes online
 (:mod:`repro.serving.onboarding`, crash-safe via the
 :class:`OnboardWAL`), and exposes the whole thing over stdlib HTTP
 (:class:`ServingServer` with per-request deadlines, bounded admission,
-and a circuit breaker — see :mod:`repro.serving.admission`).  Entry
-points on the CLI: ``repro export`` / ``repro serve`` /
-``repro predict``.
+and a circuit breaker — see :mod:`repro.serving.admission`).  For
+horizontal scale, :class:`ServingTier` preforks N worker processes over
+one mmap-backed bundle behind an async coalescing front
+(:class:`TierFrontend`) — see docs/SCALING.md.  Entry points on the
+CLI: ``repro export`` / ``repro serve`` / ``repro predict``.
 """
 
 from .admission import (
@@ -33,8 +35,10 @@ from .artifact import (
     default_label_names,
 )
 from .engine import EngineConfig, InferenceEngine
+from .frontend import FrontendConfig, TierFrontend, WorkerDied
 from .onboarding import OnboardResult, OnboardingManager, parse_relation
 from .server import ServerConfig, ServingServer, make_handler
+from .tier import TIER_PROTOCOL_VERSION, ServingTier, TierConfig, WorkerHandle
 from .wal import OnboardWAL, WalReplayError
 
 __all__ = [
@@ -56,11 +60,18 @@ __all__ = [
     "deadline_scope",
     "default_label_names",
     "EngineConfig",
+    "FrontendConfig",
     "InferenceEngine",
     "OnboardResult",
     "OnboardingManager",
     "parse_relation",
     "ServerConfig",
     "ServingServer",
+    "ServingTier",
+    "TIER_PROTOCOL_VERSION",
+    "TierConfig",
+    "TierFrontend",
+    "WorkerDied",
+    "WorkerHandle",
     "make_handler",
 ]

@@ -106,6 +106,10 @@ class InferenceEngine:
         self._pending: List[Tuple[str, int]] = []
         self._lock = threading.RLock()
         self._onboarding: Optional[OnboardingManager] = None
+        #: overlay deltas *installed* from a peer's onboard (see
+        #: :meth:`install_overlay`) — served exactly like locally
+        #: onboarded nodes but never recomputed here
+        self._installed: Dict[Tuple[str, int], OnboardResult] = {}
         self._wal: Optional[OnboardWAL] = None
         self._started = time.perf_counter()
         #: a PRIVATE registry per engine, so two engines in one process
@@ -184,9 +188,15 @@ class InferenceEngine:
                 f"(got min={ids.min()}, max={ids.max()})")
 
     def _overlay_targets(self) -> Dict[int, OnboardResult]:
-        if self._onboarding is None:
-            return {}
-        return self._onboarding.target_overlay()
+        overlay: Dict[int, OnboardResult] = {
+            local_id: result
+            for (node_type, local_id), result in self._installed.items()
+            if node_type == self.bundle.target_type}
+        if self._onboarding is not None:
+            # a locally computed result is authoritative over an
+            # installed copy of itself (they are identical by contract)
+            overlay.update(self._onboarding.target_overlay())
+        return overlay
 
     def _process(self, requests: Sequence[Tuple[str, int]]) -> Dict[Tuple[str, int], np.ndarray]:
         """Answer a batch of ``(kind, id)`` requests with ≤1 forward per kind.
@@ -369,6 +379,22 @@ class InferenceEngine:
                 self._wal.append(node_type, edges, raw_features=raw_features)
             return result
 
+    def install_overlay(self, result: OnboardResult) -> OnboardResult:
+        """Adopt a peer's onboard result into this engine's overlay.
+
+        The tier's single-writer protocol: one writer process computes
+        an onboard (:meth:`onboard`, WAL first), then broadcasts the
+        result as a compact delta (:meth:`OnboardResult.to_wire`); every
+        reader installs it here.  Installation is pure bookkeeping — no
+        graph mutation, no forward pass — so readers never block reads
+        on writes, and the installed node serves the *writer's* exact
+        logits.  Idempotent: re-installing the same node overwrites the
+        same entry.
+        """
+        with self._lock:
+            self._installed[(result.node_type, result.local_id)] = result
+            return result
+
     def attach_wal(self, wal, replay: bool = True) -> int:
         """Attach an onboarding WAL (path or :class:`OnboardWAL`).
 
@@ -408,7 +434,11 @@ class InferenceEngine:
 
     @property
     def num_onboarded(self) -> int:
-        return 0 if self._onboarding is None else len(self._onboarding)
+        with self._lock:
+            keys = set(self._installed)
+            if self._onboarding is not None:
+                keys.update(self._onboarding._results)
+            return len(keys)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict:

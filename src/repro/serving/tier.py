@@ -1,0 +1,393 @@
+"""Preforked multi-worker serving tier over one shared bundle.
+
+``ServingTier`` scales :class:`~repro.serving.InferenceEngine` across N
+worker *processes* while keeping exactly one physical copy of the
+expensive state:
+
+* the parent loads the bundle **mmap-backed**
+  (:meth:`ModelBundle.load(mmap_mode="r") <repro.serving.ModelBundle.
+  load>`) and builds one template engine — model weights, completed
+  attributes, and the frozen ``h0`` live in page-cache/copy-on-write
+  memory;
+* workers are **forked** from that template, so they share the parent's
+  read-only pages instead of re-loading or re-computing anything (a
+  worker is serving its first request milliseconds after the fork);
+* each worker owns a private result cache and a private
+  :class:`~repro.telemetry.MetricsRegistry`; snapshots ship to the
+  front over the worker pipe and aggregate via
+  :func:`~repro.telemetry.merge_snapshots` at ``/metrics``.
+
+Writes stay **single-writer**: worker 0 applies every ``/onboard``
+(WAL first, exactly like the single-process engine), then the front
+broadcasts the compact overlay delta (:meth:`OnboardResult.to_wire`)
+to the reader workers, which install it without recomputing
+(:meth:`InferenceEngine.install_overlay`).  Readers therefore never
+block reads on writes, and existing predictions never change.
+
+Failure semantics (docs/ROBUSTNESS.md): a worker killed mid-request is
+detected by the front (EOF on its pipe), its in-flight batch is
+requeued for a sibling, and a replacement is forked from the pristine
+parent template; the replacement inherits the current overlay by
+replaying the WAL (or the in-memory onboard log when no WAL is
+configured) before it accepts traffic.  Fault sites ``tier.fork``,
+``tier.broadcast``, ``tier.worker.boot`` and ``tier.worker.loop`` make
+all of this reachable from :mod:`repro.faults` plans — including
+``chaos_smoke``'s tier scenario.
+
+The HTTP edge lives in :mod:`repro.serving.frontend` (an asyncio accept
+loop that coalesces concurrent in-flight requests into per-worker
+micro-batches); this module owns the processes and the wire protocol —
+newline-delimited JSON over a pre-fork ``socketpair``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..faults import fault_site
+from ..telemetry import MetricsRegistry, get_registry, merge_snapshots
+from .artifact import ModelBundle
+from .engine import EngineConfig, InferenceEngine
+from .frontend import FrontendConfig, TierFrontend
+from .onboarding import OnboardResult
+from .wal import OnboardWAL
+
+#: wire protocol version, embedded in the ready handshake
+TIER_PROTOCOL_VERSION = 1
+
+
+@dataclass
+class TierConfig:
+    """Process-level knobs of the serving tier."""
+
+    #: worker processes; worker 0 is the single onboarding writer
+    workers: int = 2
+    #: serve the bundle through the mmap sidecar cache so workers share
+    #: one physical copy of the arrays (set False to debug eager loads)
+    mmap: bool = True
+    #: onboarding WAL path — shared by the writer (appends) and by
+    #: respawned workers (replay); None keeps the log in tier memory
+    wal_path: Optional[os.PathLike] = None
+    #: fork a replacement when a worker dies mid-service
+    respawn: bool = True
+    #: lifetime cap on respawns (a crash-looping worker should surface
+    #: as degraded capacity, not an endless fork storm)
+    max_respawns: int = 16
+    #: patience for worker process join before escalating to terminate
+    shutdown_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side view of one forked worker."""
+
+    index: int
+    role: str                      # "writer" | "reader"
+    process: Any                   # multiprocessing.Process
+    sock: Optional[socket.socket]  # parent end until asyncio adopts it
+    pid: Optional[int]
+    generation: int = 0
+    dead: bool = False
+    # set by the frontend once the pipe is wrapped in asyncio streams
+    reader: Any = None
+    writer: Any = None
+    lock: Any = None               # asyncio.Lock — one call in flight
+    seq: int = field(default=0)
+
+    @property
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# Worker process side (runs in the forked child)
+# ---------------------------------------------------------------------------
+def _send(wfile, payload: Dict) -> None:
+    wfile.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+    wfile.flush()
+
+
+def _predict_entries(engine: InferenceEngine,
+                     entries: List[List[int]]) -> List[Dict]:
+    """Answer a coalesced micro-batch: ONE engine batch for all entries.
+
+    A full-graph forward answers however many queries share it, so the
+    whole wire batch goes through ``predict_batch`` at once; only when
+    some entry carries out-of-range ids does the slow path isolate the
+    offender per entry (everyone else still gets answers).
+    """
+    flat = [int(node_id) for entry in entries for node_id in entry]
+    try:
+        answered = engine.predict_batch(flat)
+    except ValueError:
+        results = []
+        for entry in entries:
+            try:
+                results.append({"ok": True,
+                                "rows": engine.predict_batch(entry)})
+            except ValueError as error:
+                results.append({"ok": False, "error": str(error)})
+        return results
+    rows_by_id = {row["node_id"]: row for row in answered}
+    return [{"ok": True, "rows": [rows_by_id[int(node_id)]
+                                  for node_id in entry]}
+            for entry in entries]
+
+
+def _worker_catch_up(engine: InferenceEngine, role: str,
+                     wal_path: Optional[str], deltas: List[Dict],
+                     requests: List[Dict]) -> None:
+    """Bring a freshly forked worker up to the current overlay.
+
+    With a WAL: the writer attaches it (replay + open for append);
+    readers replay the same records *without* opening the log, so only
+    the writer ever appends.  Without a WAL: the writer re-applies the
+    logged onboard requests (onboarding is deterministic, so results
+    are identical), readers install the logged wire deltas.
+    """
+    if wal_path is not None:
+        if role == "writer":
+            engine.attach_wal(wal_path)
+        else:
+            for record in OnboardWAL(wal_path).records():
+                engine.onboard(record["node_type"],
+                               record.get("edges") or {},
+                               raw_features=record.get("raw_features"))
+    elif role == "writer":
+        for request in requests:
+            engine.onboard(request["node_type"],
+                           request.get("edges") or {},
+                           raw_features=request.get("raw_features"))
+    else:
+        for delta in deltas:
+            engine.install_overlay(OnboardResult.from_wire(delta))
+
+
+def _worker_main(child_sock: socket.socket, engine: InferenceEngine,
+                 role: str, wal_path: Optional[str], deltas: List[Dict],
+                 requests: List[Dict],
+                 inherited: List[socket.socket]) -> None:
+    """The forked worker's serve loop (newline-delimited JSON)."""
+    for other in inherited:  # siblings' pipe ends copied in by fork
+        try:
+            other.close()
+        except OSError:
+            pass
+    rfile = child_sock.makefile("rb")
+    wfile = child_sock.makefile("wb")
+    try:
+        fault_site("tier.worker.boot", key=role)
+        _worker_catch_up(engine, role, wal_path, deltas, requests)
+        _send(wfile, {"id": 0, "op": "ready", "ok": True,
+                      "pid": os.getpid(), "role": role,
+                      "protocol": TIER_PROTOCOL_VERSION,
+                      "onboarded": engine.num_onboarded})
+        while True:
+            line = rfile.readline()
+            if not line:  # parent went away; nothing left to serve
+                break
+            message = json.loads(line)
+            op = message.get("op")
+            reply_id = message.get("id")
+            try:
+                fault_site("tier.worker.loop", key=str(op))
+                if op == "predict":
+                    reply = {"results": _predict_entries(
+                        engine, message["entries"])}
+                elif op == "onboard":
+                    result = engine.onboard(
+                        message["node_type"], message.get("edges") or {},
+                        raw_features=message.get("raw_features"))
+                    reply = {"result": result.to_json(),
+                             "delta": result.to_wire()}
+                elif op == "overlay":
+                    engine.install_overlay(
+                        OnboardResult.from_wire(message["delta"]))
+                    reply = {"onboarded": engine.num_onboarded}
+                elif op == "snapshot":
+                    reply = {"snapshot": merge_snapshots(
+                        [engine.metrics.snapshot(),
+                         get_registry().snapshot()])}
+                elif op == "stats":
+                    stats = engine.stats()
+                    stats["pid"] = os.getpid()
+                    stats["role"] = role
+                    reply = {"stats": stats}
+                elif op == "ping":
+                    reply = {"pid": os.getpid()}
+                elif op == "shutdown":
+                    _send(wfile, {"id": reply_id, "ok": True})
+                    break
+                else:
+                    raise ValueError(f"unknown tier op {op!r}")
+                _send(wfile, {"id": reply_id, "ok": True, **reply})
+            except ValueError as error:
+                _send(wfile, {"id": reply_id, "ok": False,
+                              "kind": "value", "error": str(error)})
+            except Exception as error:  # injected faults keep serving
+                _send(wfile, {"id": reply_id, "ok": False,
+                              "kind": "internal",
+                              "error": f"{type(error).__name__}: {error}"})
+    except (BrokenPipeError, ConnectionResetError, OSError,
+            json.JSONDecodeError):
+        pass  # a torn pipe means the parent is gone — exit quietly
+    finally:
+        engine.close()
+        try:
+            child_sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class ServingTier:
+    """N preforked engine workers behind one coalescing async front.
+
+    ::
+
+        tier = ServingTier("bundle.npz",
+                           TierConfig(workers=4, wal_path="onboard.wal"),
+                           port=8000).start_background()
+        ...
+        tier.shutdown()
+
+    The constructor does the expensive work once — mmap-load the bundle,
+    instantiate the template engine (one ``h0`` forward) — and every
+    fork afterwards is cheap.  ``serve_forever()`` runs the front in the
+    calling thread (the CLI path, with SIGTERM draining);
+    ``start_background()`` runs it on a daemon thread (tests and
+    benchmarks).
+    """
+
+    def __init__(self, bundle_path, config: Optional[TierConfig] = None,
+                 engine_config: Optional[EngineConfig] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 frontend_config: Optional[FrontendConfig] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the serving tier needs the 'fork' start method (workers "
+                "share the template engine copy-on-write); this platform "
+                "does not provide it")
+        self.config = config or TierConfig()
+        self.bundle_path = Path(bundle_path)
+        bundle = ModelBundle.load(
+            self.bundle_path, mmap_mode="r" if self.config.mmap else None)
+        self._engine_config = engine_config or EngineConfig()
+        #: built ONCE, pre-fork: every worker inherits these pages
+        self.template = InferenceEngine(bundle, config=self._engine_config)
+        self._ctx = multiprocessing.get_context("fork")
+        self.metrics = registry or MetricsRegistry()
+        self._spawned = 0
+        #: the no-WAL catch-up log: requests for a respawned writer,
+        #: wire deltas for respawned readers (kept even with a WAL so
+        #: /stats can report the onboard history cheaply)
+        self._onboard_requests: List[Dict] = []
+        self._deltas: List[Dict] = []
+        self._live: List[WorkerHandle] = []
+        self.frontend = TierFrontend(self, host=host, port=port,
+                                     config=frontend_config,
+                                     registry=self.metrics)
+
+    # -- process management (called from the frontend's loop thread) ----
+    def spawn_worker(self, index: int, generation: int = 0) -> WorkerHandle:
+        """Fork one worker; returns its handle with the parent pipe end."""
+        fault_site("tier.fork", key=str(index))
+        parent_sock, child_sock = socket.socketpair()
+        role = "writer" if index == 0 else "reader"
+        wal = (None if self.config.wal_path is None
+               else str(self.config.wal_path))
+        inherited = [handle.sock for handle in self._live
+                     if handle.sock is not None]
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_sock, self.template, role, wal,
+                  list(self._deltas), list(self._onboard_requests),
+                  inherited),
+            daemon=True, name=f"tier-worker-{index}.{generation}")
+        process.start()
+        child_sock.close()
+        handle = WorkerHandle(index=index, role=role, process=process,
+                              sock=parent_sock, pid=process.pid,
+                              generation=generation)
+        self._live.append(handle)
+        self._spawned += 1
+        return handle
+
+    def reap(self, handle: WorkerHandle) -> None:
+        """Retire a worker process (dead or being shut down)."""
+        handle.dead = True
+        if handle in self._live:
+            self._live.remove(handle)
+        process = handle.process
+        process.join(timeout=0.2)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=self.config.shutdown_timeout_s)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=1.0)
+
+    def record_onboard(self, request: Dict, delta: Dict) -> None:
+        """Log a committed onboard so future respawns catch up.
+
+        Called by the front *after* the writer's WAL append succeeded
+        and *before* the delta is broadcast — a reader respawned during
+        the broadcast still inherits the delta at fork time.
+        """
+        self._onboard_requests.append(request)
+        self._deltas.append(delta)
+
+    @property
+    def num_onboarded(self) -> int:
+        return len(self._deltas)
+
+    # -- lifecycle ------------------------------------------------------
+    def start_background(self) -> "ServingTier":
+        self.frontend.start_background()
+        return self
+
+    def serve_forever(self) -> None:
+        self.frontend.serve_forever()
+
+    def shutdown(self) -> None:
+        self.frontend.shutdown()
+
+    @property
+    def url(self) -> str:
+        return self.frontend.url
+
+    @property
+    def address(self):
+        return self.frontend.address
+
+    def stats(self) -> Dict:
+        """Tier-level accounting (the front merges in worker stats)."""
+        return {
+            "workers": self.config.workers,
+            "writer_index": 0,
+            "mmap": self.config.mmap,
+            "wal": (None if self.config.wal_path is None
+                    else str(self.config.wal_path)),
+            "spawned_total": self._spawned,
+            "onboarded": self.num_onboarded,
+            "pids": [handle.pid for handle in self._live],
+        }
+
+
+__all__ = ["ServingTier", "TierConfig", "TIER_PROTOCOL_VERSION",
+           "WorkerHandle"]
